@@ -1,0 +1,124 @@
+// Command sdiq runs the paper's evaluation: every table and figure of
+// "Software Directed Issue Queue Power Reduction" (HPCA 2005), on the
+// synthetic SPECint-like suite.
+//
+// Usage:
+//
+//	sdiq [-experiment all|table1|table2|fig6|fig7|fig8|fig9|fig10|fig11|fig12|summary]
+//	     [-budget N] [-seed N] [-parallel N] [-format table|csv]
+//	     [-config cfg.json] [-dumpconfig]
+//
+// The budget is the number of committed (real) instructions per run; the
+// paper uses 100M, the default here is 500k which reproduces the same
+// shape in seconds. A JSON config file overrides table-1 parameters
+// (emit a template with -dumpconfig).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all",
+		"which experiment to run: all, table1, table2, fig6..fig12, summary")
+	budget := flag.Int64("budget", 500_000, "committed instructions per run")
+	seed := flag.Int64("seed", 42, "workload generator seed")
+	parallel := flag.Int("parallel", 0, "worker count (0 = GOMAXPROCS)")
+	format := flag.String("format", "table", "output format: table or csv")
+	configPath := flag.String("config", "", "JSON processor configuration overriding table 1")
+	dumpConfig := flag.Bool("dumpconfig", false, "print the default configuration as JSON and exit")
+	flag.Parse()
+
+	r := exp.NewRunner(*budget)
+	r.Seed = *seed
+	r.Parallel = *parallel
+
+	if *dumpConfig {
+		if err := exp.WriteConfig(os.Stdout, r.Config); err != nil {
+			fail(err)
+		}
+		return
+	}
+	if *configPath != "" {
+		f, err := os.Open(*configPath)
+		if err != nil {
+			fail(err)
+		}
+		cfg, err := exp.LoadConfig(f)
+		f.Close()
+		if err != nil {
+			fail(err)
+		}
+		r.Config = cfg
+	}
+	csv := false
+	switch *format {
+	case "table":
+	case "csv":
+		csv = true
+	default:
+		fail(fmt.Errorf("unknown format %q", *format))
+	}
+
+	name := strings.ToLower(*experiment)
+
+	// Experiments that need no simulation runs.
+	switch name {
+	case "table1":
+		fmt.Print(exp.Table1(r.Config))
+		return
+	case "table2":
+		fmt.Print(exp.Table2(*seed))
+		return
+	}
+
+	s, err := r.RunSuite(exp.AllTechniques())
+	if err != nil {
+		fail(err)
+	}
+	pick := func(tbl, csvText string) string {
+		if csv {
+			return csvText
+		}
+		return tbl
+	}
+	switch name {
+	case "all":
+		if csv {
+			fmt.Print(exp.Figure6CSV(s), "\n", exp.Figure7CSV(s), "\n", exp.Figure8CSV(s), "\n",
+				exp.Figure9CSV(s), "\n", exp.Figure10CSV(s), "\n", exp.Figure11CSV(s), "\n",
+				exp.Figure12CSV(s), "\n", exp.SummaryCSV(s))
+		} else {
+			fmt.Print(exp.AllFigures(s, r.Config, *seed))
+		}
+	case "fig6":
+		fmt.Print(pick(exp.Figure6(s), exp.Figure6CSV(s)))
+	case "fig7":
+		fmt.Print(pick(exp.Figure7(s), exp.Figure7CSV(s)))
+	case "fig8":
+		fmt.Print(pick(exp.Figure8(s), exp.Figure8CSV(s)))
+	case "fig9":
+		fmt.Print(pick(exp.Figure9(s), exp.Figure9CSV(s)))
+	case "fig10":
+		fmt.Print(pick(exp.Figure10(s), exp.Figure10CSV(s)))
+	case "fig11":
+		fmt.Print(pick(exp.Figure11(s), exp.Figure11CSV(s)))
+	case "fig12":
+		fmt.Print(pick(exp.Figure12(s), exp.Figure12CSV(s)))
+	case "summary":
+		fmt.Print(pick(exp.Summary(s), exp.SummaryCSV(s)))
+	default:
+		fmt.Fprintf(os.Stderr, "sdiq: unknown experiment %q\n", *experiment)
+		os.Exit(2)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "sdiq: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,109 @@
+// Command sdiqc is the compiler driver: it reads a program in sdasm form,
+// runs the paper's issue-queue analysis, and writes the program back with
+// hints installed — special NOOPs (-mode noop) or instruction tags
+// (-mode tag). With -report it prints the per-procedure analysis instead.
+//
+// Usage:
+//
+//	sdiqc [-mode noop|tag] [-improved] [-report] [-o out.sdasm] in.sdasm
+//	sdiqgen -bench gzip | sdiqc -mode tag -o gzip_tagged.sdasm -
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/prog"
+)
+
+func main() {
+	mode := flag.String("mode", "noop", "hint encoding: noop (inserted NOOPs) or tag (Extension)")
+	improved := flag.Bool("improved", false, "enable inter-procedural FU contention analysis")
+	report := flag.Bool("report", false, "print the analysis report instead of instrumenting")
+	out := flag.String("o", "-", "output file (- = stdout)")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: sdiqc [flags] in.sdasm   (use - for stdin)")
+		os.Exit(2)
+	}
+	in, err := openInput(flag.Arg(0))
+	if err != nil {
+		fail(err)
+	}
+	p, err := prog.ParseAsm(in)
+	if err != nil {
+		fail(fmt.Errorf("parse: %w", err))
+	}
+	in.Close()
+
+	opt := core.Options{Improved: *improved}
+	switch *mode {
+	case "noop":
+		opt.Mode = core.ModeNOOP
+	case "tag":
+		opt.Mode = core.ModeTag
+	default:
+		fail(fmt.Errorf("unknown mode %q", *mode))
+	}
+
+	if *report {
+		rep, err := core.AnalyzeOnly(p, opt)
+		if err != nil {
+			fail(err)
+		}
+		printReport(os.Stdout, rep)
+		return
+	}
+
+	rep, err := core.Instrument(p, opt)
+	if err != nil {
+		fail(err)
+	}
+	w, err := openOutput(*out)
+	if err != nil {
+		fail(err)
+	}
+	if err := prog.WriteAsm(w, p); err != nil {
+		fail(err)
+	}
+	if c, ok := w.(io.Closer); ok && w != os.Stdout {
+		c.Close()
+	}
+	fmt.Fprintf(os.Stderr, "sdiqc: %d hint NOOPs inserted, %d tags applied\n",
+		rep.HintsInserted, rep.TagsApplied)
+}
+
+func printReport(w io.Writer, rep *core.Report) {
+	for _, pr := range rep.Procs {
+		fmt.Fprintf(w, "proc %s\n", pr.Proc)
+		for bi, n := range pr.BlockNeeds {
+			fmt.Fprintf(w, "  block %-3d needs %d entries\n", bi, n)
+		}
+		for _, l := range pr.LoopNeeds {
+			fmt.Fprintf(w, "  loop@block%-3d needs %d entries (II=%d)\n", l.Header, l.Need, l.II)
+		}
+	}
+}
+
+func openInput(name string) (io.ReadCloser, error) {
+	if name == "-" {
+		return io.NopCloser(os.Stdin), nil
+	}
+	return os.Open(name)
+}
+
+func openOutput(name string) (io.Writer, error) {
+	if name == "-" {
+		return os.Stdout, nil
+	}
+	return os.Create(name)
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "sdiqc: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,52 @@
+// Command sdiqgen emits one of the synthetic SPECint-like benchmark
+// programs in sdasm form, for inspection or for feeding to sdiqc.
+//
+// Usage:
+//
+//	sdiqgen -bench gzip [-seed 42] [-o gzip.sdasm]
+//	sdiqgen -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/prog"
+	"repro/internal/workload"
+)
+
+func main() {
+	bench := flag.String("bench", "", "benchmark name (see -list)")
+	seed := flag.Int64("seed", 42, "generator seed")
+	out := flag.String("o", "-", "output file (- = stdout)")
+	list := flag.Bool("list", false, "list available benchmarks")
+	flag.Parse()
+
+	if *list {
+		for _, b := range workload.Suite() {
+			fmt.Printf("%-8s %s\n", b.Name, b.Description)
+		}
+		return
+	}
+	b, ok := workload.ByName(*bench)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "sdiqgen: unknown benchmark %q (try -list)\n", *bench)
+		os.Exit(2)
+	}
+	p := b.Build(*seed)
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sdiqgen: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := prog.WriteAsm(w, p); err != nil {
+		fmt.Fprintf(os.Stderr, "sdiqgen: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,103 @@
+// Command sdiqsim runs one benchmark under one technique and prints a
+// detailed machine report: IPC, stall breakdown, branch and cache rates,
+// and occupancy histograms for the issue queue and register file — the
+// inspection companion to the sdiq experiment driver.
+//
+// Usage:
+//
+//	sdiqsim -bench gzip [-tech baseline|noop|tag|improved|abella]
+//	        [-budget N] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/prog"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// histProbe accumulates per-cycle occupancy histograms.
+type histProbe struct {
+	iq, rf, rob *stats.Histogram
+}
+
+func (h *histProbe) Sample(cycle int64, s sim.ProbeSample) {
+	h.iq.Add(float64(s.IQCount))
+	h.rf.Add(float64(s.IntRFLive))
+	h.rob.Add(float64(s.ROBCount))
+}
+
+func main() {
+	bench := flag.String("bench", "gzip", "benchmark name")
+	tech := flag.String("tech", "baseline", "baseline, noop, tag, improved or abella")
+	budget := flag.Int64("budget", 200_000, "committed instructions")
+	seed := flag.Int64("seed", 42, "generator seed")
+	flag.Parse()
+
+	b, ok := workload.ByName(*bench)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "sdiqsim: unknown benchmark %q\n", *bench)
+		os.Exit(2)
+	}
+	p := b.Build(*seed)
+	cfg := sim.DefaultConfig()
+	switch *tech {
+	case "baseline":
+	case "noop":
+		mustInstrument(p, core.Options{Mode: core.ModeNOOP})
+		cfg.Control = sim.ControlHints
+	case "tag":
+		mustInstrument(p, core.Options{Mode: core.ModeTag})
+		cfg.Control = sim.ControlHints
+	case "improved":
+		mustInstrument(p, core.Options{Mode: core.ModeTag, Improved: true})
+		cfg.Control = sim.ControlHints
+	case "abella":
+		cfg.Control = sim.ControlAdaptive
+	default:
+		fmt.Fprintf(os.Stderr, "sdiqsim: unknown technique %q\n", *tech)
+		os.Exit(2)
+	}
+
+	probe := &histProbe{
+		iq:  stats.NewHistogram(0, float64(cfg.IQ.Entries), 10),
+		rf:  stats.NewHistogram(0, float64(cfg.IntRF.Regs), 14),
+		rob: stats.NewHistogram(0, float64(cfg.ROBSize), 8),
+	}
+	cfg.Probe = probe
+
+	st, err := sim.RunProgram(cfg, p, *budget)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sdiqsim: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("%s under %s: %d instructions in %d cycles (IPC %.3f)\n\n",
+		*bench, *tech, st.CommittedReal, st.Cycles, st.IPC())
+	fmt.Printf("front end:  %.2f%% cond mispredict, %.2f%% L1I miss, %d BTB bubbles\n",
+		100*st.Bpred.MispredictRate(), 100*st.IL1.MissRate(), st.BTBBubbles)
+	fmt.Printf("memory:     %.2f%% L1D miss, %.2f%% L2 miss\n",
+		100*st.DL1.MissRate(), 100*st.L2.MissRate())
+	fmt.Printf("hints:      %d applied, %d NOOP slots consumed\n",
+		st.HintsApplied, st.CommittedHints)
+	fmt.Printf("dispatch stalls (cycles): iqFull=%d hint=%d sizeLimit=%d rob=%d physReg=%d lsq=%d\n\n",
+		st.StallIQFull, st.StallHintLimit, st.StallSizeLimit,
+		st.StallROBFull, st.StallNoPhysReg, st.StallLSQFull)
+	fmt.Printf("issue queue occupancy (mean %.1f of %d; %.1f banks on):\n%s\n",
+		st.AvgIQOccupancy(), cfg.IQ.Entries, st.AvgIQBanksOn(), probe.iq)
+	fmt.Printf("live integer registers (mean %.1f of %d):\n%s\n",
+		st.AvgIntRFLive(), cfg.IntRF.Regs, probe.rf)
+	fmt.Printf("reorder buffer occupancy:\n%s", probe.rob)
+}
+
+func mustInstrument(p *prog.Program, opt core.Options) {
+	if _, err := core.Instrument(p, opt); err != nil {
+		fmt.Fprintf(os.Stderr, "sdiqsim: %v\n", err)
+		os.Exit(1)
+	}
+}

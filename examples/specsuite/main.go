@@ -1,0 +1,28 @@
+// Specsuite: runs the full benchmark suite under every technique at a
+// configurable budget and prints the paper's headline comparison plus the
+// per-benchmark IPC-loss figure — a smaller, programmatic version of
+// `sdiq -experiment all`.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	budget := flag.Int64("budget", 150_000, "committed instructions per run")
+	flag.Parse()
+
+	r := exp.NewRunner(*budget)
+	fmt.Printf("running 11 benchmarks x 5 techniques at %d instructions each...\n\n", *budget)
+	s, err := r.RunSuite(exp.AllTechniques())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(exp.Figure6(s))
+	fmt.Println(exp.Figure8(s))
+	fmt.Println(exp.Summary(s))
+}

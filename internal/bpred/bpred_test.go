@@ -1,0 +1,166 @@
+package bpred
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestAlwaysTakenConverges(t *testing.T) {
+	p := New(Config{})
+	pc := 400
+	for i := 0; i < 100; i++ {
+		p.PredictCond(pc)
+		p.UpdateCond(pc, true)
+	}
+	mis := p.Stats.CondMispred
+	for i := 0; i < 100; i++ {
+		if !p.PredictCond(pc) {
+			t.Fatalf("iteration %d: trained predictor predicted not-taken", i)
+		}
+		p.UpdateCond(pc, true)
+	}
+	if p.Stats.CondMispred != mis {
+		t.Errorf("mispredicts after convergence: %d", p.Stats.CondMispred-mis)
+	}
+}
+
+func TestAlternatingPatternLearnedByGshare(t *testing.T) {
+	// Strict alternation is history-predictable: after warmup the hybrid
+	// must do far better than 50%.
+	p := New(Config{})
+	pc := 800
+	taken := false
+	for i := 0; i < 500; i++ {
+		p.PredictCond(pc)
+		p.UpdateCond(pc, taken)
+		taken = !taken
+	}
+	start := p.Stats
+	for i := 0; i < 1000; i++ {
+		p.PredictCond(pc)
+		p.UpdateCond(pc, taken)
+		taken = !taken
+	}
+	window := Stats{
+		CondLookups: p.Stats.CondLookups - start.CondLookups,
+		CondMispred: p.Stats.CondMispred - start.CondMispred,
+	}
+	if r := window.MispredictRate(); r > 0.1 {
+		t.Errorf("alternating mispredict rate = %.2f, want < 0.1", r)
+	}
+}
+
+func TestLoopBranchAccuracy(t *testing.T) {
+	// A 20-iteration loop branch: taken 19x, not-taken 1x. Bimodal alone
+	// gets ~95%; the hybrid must be at least that good.
+	p := New(Config{})
+	pc := 1200
+	for rounds := 0; rounds < 100; rounds++ {
+		for i := 0; i < 19; i++ {
+			p.PredictCond(pc)
+			p.UpdateCond(pc, true)
+		}
+		p.PredictCond(pc)
+		p.UpdateCond(pc, false)
+	}
+	if r := p.Stats.MispredictRate(); r > 0.12 {
+		t.Errorf("loop branch mispredict rate = %.3f, want <= 0.12", r)
+	}
+}
+
+func TestBTBHitAfterInstall(t *testing.T) {
+	p := New(Config{})
+	if _, ok := p.LookupBTB(400); ok {
+		t.Fatal("cold BTB must miss")
+	}
+	p.UpdateBTB(400, 1200)
+	tgt, ok := p.LookupBTB(400)
+	if !ok || tgt != 1200 {
+		t.Fatalf("BTB lookup = %d,%v want 1200,true", tgt, ok)
+	}
+	// Update with a new target replaces in place.
+	p.UpdateBTB(400, 2000)
+	tgt, ok = p.LookupBTB(400)
+	if !ok || tgt != 2000 {
+		t.Fatalf("BTB re-lookup = %d,%v want 2000,true", tgt, ok)
+	}
+}
+
+func TestBTBConflictEviction(t *testing.T) {
+	cfg := DefaultConfig()
+	sets := cfg.BTBEntries / cfg.BTBAssoc
+	p := New(cfg)
+	// Fill one set beyond its associativity: 5 branches mapping to set 0.
+	pcs := make([]int, 5)
+	for i := range pcs {
+		pcs[i] = i * sets * 4 // same set, different tags
+		p.UpdateBTB(pcs[i], 100+i)
+	}
+	hits := 0
+	for _, pc := range pcs {
+		if _, ok := p.LookupBTB(pc); ok {
+			hits++
+		}
+	}
+	if hits != 4 {
+		t.Errorf("hits = %d, want exactly assoc=4 after eviction", hits)
+	}
+}
+
+func TestRASMatchesCallStack(t *testing.T) {
+	p := New(Config{})
+	p.PushRAS(100)
+	p.PushRAS(200)
+	if tgt, ok := p.PopRAS(200); !ok || tgt != 200 {
+		t.Errorf("pop = %d,%v want 200,true", tgt, ok)
+	}
+	if tgt, ok := p.PopRAS(100); !ok || tgt != 100 {
+		t.Errorf("pop = %d,%v want 100,true", tgt, ok)
+	}
+	if _, ok := p.PopRAS(300); ok {
+		t.Error("empty RAS must mispredict")
+	}
+	if p.Stats.RASMispredict != 1 {
+		t.Errorf("RAS mispredicts = %d, want 1", p.Stats.RASMispredict)
+	}
+}
+
+func TestRASOverflowDropsOldest(t *testing.T) {
+	p := New(Config{RASEntries: 4})
+	for i := 0; i < 6; i++ {
+		p.PushRAS(i * 100)
+	}
+	// Stack now holds 200,300,400,500; pops must match LIFO of the newest 4.
+	for want := 500; want >= 200; want -= 100 {
+		if tgt, ok := p.PopRAS(want); !ok || tgt != want {
+			t.Fatalf("pop = %d,%v want %d,true", tgt, ok, want)
+		}
+	}
+}
+
+func TestRandomBranchesNearChance(t *testing.T) {
+	// Unpredictable branches should land near 50% — far from 0% or 100% —
+	// sanity that the predictor does not cheat.
+	p := New(Config{})
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 20000; i++ {
+		pc := 4 * (rng.Intn(64) + 1)
+		p.PredictCond(pc)
+		p.UpdateCond(pc, rng.Intn(2) == 0)
+	}
+	r := p.Stats.MispredictRate()
+	if r < 0.35 || r > 0.65 {
+		t.Errorf("random mispredict rate = %.3f, want near 0.5", r)
+	}
+}
+
+func TestConfigDefaultsFilled(t *testing.T) {
+	p := New(Config{})
+	if len(p.gshare) != 2048 || len(p.bimodal) != 2048 || len(p.selector) != 1024 {
+		t.Errorf("default table sizes wrong: %d %d %d",
+			len(p.gshare), len(p.bimodal), len(p.selector))
+	}
+	if len(p.btb) != 2048 {
+		t.Errorf("BTB size = %d, want 2048", len(p.btb))
+	}
+}

@@ -1,0 +1,502 @@
+// Package core implements the paper's primary contribution: the compiler
+// analysis that determines, per program region, the maximum number of
+// issue-queue entries needed to execute without delaying the critical
+// path, and the instrumentation pass that communicates those numbers to
+// the processor — either as special hint NOOPs inserted into the code
+// (the base technique) or as tags in redundant instruction bits (the
+// "Extension" of section 5.3). The "Improved" variant adds automated
+// inter-procedural functional-unit contention analysis, which the paper
+// applied by hand to its worst benchmarks.
+//
+// The pass follows the paper's figure 5: find natural loops; form DAGs
+// from the remaining blocks, starting at the procedure entry or after a
+// call; build dependence graphs; run the pseudo-issue-queue analysis on
+// each DAG block (figure 3) and the cyclic-dependence-set equations on
+// each loop (figure 4); and encode each region's requirement in a hint.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cfg"
+	"repro/internal/isa"
+	"repro/internal/prog"
+)
+
+// Mode selects how hints reach the hardware.
+type Mode int
+
+// Instrumentation modes.
+const (
+	// ModeNOOP inserts special hint NOOPs (stripped at decode; costs a
+	// dispatch slot — the paper's base technique).
+	ModeNOOP Mode = iota
+	// ModeTag encodes hints in redundant bits of existing instructions
+	// (the paper's Extension; no dispatch-slot cost).
+	ModeTag
+)
+
+// Options configures the analysis; zero values take the paper's machine.
+type Options struct {
+	Mode     Mode
+	Improved bool // inter-procedural FU contention (section 5.3)
+
+	IssueWidth    int // 8
+	DispatchWidth int // 8
+	IQCapacity    int // 80
+
+	// DispatchSlack is added to every materialised hint: dispatch is
+	// bundled (up to DispatchWidth per cycle), so a region sized exactly
+	// to the analytic requirement bounces dispatch at region boundaries.
+	// 0 selects the default (DispatchWidth/2); negative means no slack
+	// (used by the ablation benchmarks).
+	DispatchSlack int
+
+	IntALU   int // 6
+	IntMul   int // 3
+	FPALU    int // 4
+	FPMulDiv int // 2
+	MemPorts int // 2
+}
+
+// DefaultOptions matches the paper's table 1 processor.
+func DefaultOptions() Options {
+	return Options{
+		IssueWidth:    8,
+		DispatchWidth: 8,
+		IQCapacity:    80,
+		IntALU:        6,
+		IntMul:        3,
+		FPALU:         4,
+		FPMulDiv:      2,
+		MemPorts:      2,
+	}
+}
+
+func (o *Options) fill() {
+	d := DefaultOptions()
+	if o.IssueWidth == 0 {
+		o.IssueWidth = d.IssueWidth
+	}
+	if o.DispatchWidth == 0 {
+		o.DispatchWidth = d.DispatchWidth
+	}
+	if o.IQCapacity == 0 {
+		o.IQCapacity = d.IQCapacity
+	}
+	if o.IntALU == 0 {
+		o.IntALU = d.IntALU
+	}
+	if o.IntMul == 0 {
+		o.IntMul = d.IntMul
+	}
+	if o.FPALU == 0 {
+		o.FPALU = d.FPALU
+	}
+	if o.FPMulDiv == 0 {
+		o.FPMulDiv = d.FPMulDiv
+	}
+	if o.MemPorts == 0 {
+		o.MemPorts = d.MemPorts
+	}
+	if o.DispatchSlack == 0 {
+		o.DispatchSlack = o.DispatchWidth / 2
+	} else if o.DispatchSlack < 0 {
+		o.DispatchSlack = 0
+	}
+}
+
+func (o Options) fuCounts() fuCounts {
+	return fuCounts{o.IntALU, o.IntMul, o.FPALU, o.FPMulDiv, o.MemPorts}
+}
+
+// ProcReport records the analysis outcome for one procedure.
+type ProcReport struct {
+	Proc       string
+	BlockNeeds []int // per block: effective entries needed
+	LoopNeeds  []LoopNeed
+	Hints      int // hints materialised in this procedure
+	// PostCallNeeds holds the region-restart value for in-loop blocks
+	// that follow a call (section 4.4: analysis restarts on return). The
+	// base technique sizes the restart from the remainder block alone —
+	// losing the loop's cross-iteration window, the deficiency the paper
+	// saw on call-dense benchmarks; Improved restores the full window
+	// computed with the callee inlined.
+	PostCallNeeds map[int]int
+}
+
+// LoopNeed is one loop's result.
+type LoopNeed struct {
+	Header  int
+	Need    int
+	II      int
+	CDSSize int
+}
+
+// Report is the whole-program analysis outcome.
+type Report struct {
+	Procs         []ProcReport
+	HintsInserted int
+	TagsApplied   int
+}
+
+// Instrument analyses the program and installs hints in place, then
+// relinks. The program must already be linked.
+func Instrument(p *prog.Program, opt Options) (*Report, error) {
+	opt.fill()
+	if !p.Linked() {
+		return nil, fmt.Errorf("core: program %q not linked", p.Name)
+	}
+	rep := &Report{}
+	var summaries map[int]procSummary
+	if opt.Improved {
+		summaries = summarizeProcs(p, opt)
+	}
+	for _, pr := range p.Procs {
+		if pr.IsLib {
+			rep.Procs = append(rep.Procs, ProcReport{Proc: pr.Name})
+			continue
+		}
+		prep := analyzeProc(p, pr, opt, summaries)
+		placeHints(pr, prep, opt, rep)
+		rep.Procs = append(rep.Procs, *prep)
+	}
+	if err := p.Link(); err != nil {
+		return nil, fmt.Errorf("core: relink after instrumentation: %w", err)
+	}
+	return rep, nil
+}
+
+// AnalyzeOnly runs the analysis without mutating the program (used by
+// tools to display requirements).
+func AnalyzeOnly(p *prog.Program, opt Options) (*Report, error) {
+	opt.fill()
+	if !p.Linked() {
+		return nil, fmt.Errorf("core: program %q not linked", p.Name)
+	}
+	rep := &Report{}
+	var summaries map[int]procSummary
+	if opt.Improved {
+		summaries = summarizeProcs(p, opt)
+	}
+	for _, pr := range p.Procs {
+		if pr.IsLib {
+			rep.Procs = append(rep.Procs, ProcReport{Proc: pr.Name})
+			continue
+		}
+		rep.Procs = append(rep.Procs, *analyzeProc(p, pr, opt, summaries))
+	}
+	return rep, nil
+}
+
+// analyzeProc computes each block's effective issue-queue requirement.
+func analyzeProc(p *prog.Program, pr *prog.Proc, opt Options, summaries map[int]procSummary) *ProcReport {
+	rep := &ProcReport{
+		Proc:          pr.Name,
+		BlockNeeds:    make([]int, len(pr.Blocks)),
+		PostCallNeeds: map[int]int{},
+	}
+	a := cfg.Analyze(pr)
+
+	// Loops first (inner loops are already first in a.Loops): every
+	// block owned by a loop takes the loop's requirement.
+	la := &loopAnalysis{opt: opt}
+	loopNeedOf := make([]int, len(a.Loops))
+	for li, l := range a.Loops {
+		var body []prog.Inst
+		for _, b := range l.Exclusive {
+			for _, in := range pr.Blocks[b].Insts {
+				// Improved inter-procedural analysis: a call inside the
+				// loop keeps its callee's instructions in flight every
+				// iteration — inline them (depth 1) so the cyclic
+				// analysis sees their queue residency and FU demand.
+				// The base technique treats the call as a leaf
+				// (section 4.4), which understates the requirement —
+				// the deficiency the paper observed on bzip2/vortex.
+				if opt.Improved && in.Op == isa.Call {
+					if _, ok := summaries[in.Target]; ok {
+						body = append(body, inlineBody(p.Procs[in.Target], 64)...)
+						continue
+					}
+				}
+				body = append(body, in)
+			}
+		}
+		need, ii := la.loopNeed(body)
+		// A loop enclosing an inner loop must admit at least the inner
+		// loop's requirement (control passes through it).
+		for inner := 0; inner < li; inner++ {
+			if a.Loops[inner].Parent == li && loopNeedOf[inner] > need {
+				need = loopNeedOf[inner]
+			}
+		}
+		loopNeedOf[li] = need
+		rep.LoopNeeds = append(rep.LoopNeeds, LoopNeed{Header: l.Header, Need: need, II: ii})
+		for _, b := range l.Exclusive {
+			rep.BlockNeeds[b] = need
+		}
+	}
+
+	// DAG regions: walk blocks in layout order propagating residual
+	// summaries between blocks of the same region (conservative max over
+	// predecessors in the region).
+	for _, dag := range a.DAGs {
+		inRegion := map[int]bool{}
+		for _, b := range dag {
+			inRegion[b] = true
+		}
+		residualOf := map[int]map[isa.Reg]int{}
+		pq := &pseudoIQ{opt: opt, effUnits: opt.fuCounts()}
+		for _, b := range dag {
+			blk := pr.Blocks[b]
+			// Improved: a region that begins after a call analyses under
+			// reduced unit availability, modelling overlap with the
+			// callee's in-flight tail (the paper's inter-procedural
+			// functional-unit contention).
+			units := opt.fuCounts()
+			if opt.Improved && b > 0 {
+				if last := pr.Blocks[b-1].Last(); last != nil && last.Op == isa.Call {
+					if s, ok := summaries[last.Target]; ok {
+						units = units.minus(s.fuPressure)
+					}
+				}
+			}
+			pq.effUnits = units
+			// Conservative path summary: max residual over in-region preds.
+			residuals := map[isa.Reg]int{}
+			for _, pred := range blk.Preds {
+				if !inRegion[pred] {
+					continue
+				}
+				for r, v := range residualOf[pred] {
+					if v > residuals[r] {
+						residuals[r] = v
+					}
+				}
+			}
+			res := pq.analyzeBlock(blk.Insts, residuals)
+			residualOf[b] = res.residuals
+			need := res.need
+			if need > opt.IQCapacity {
+				need = opt.IQCapacity
+			}
+			rep.BlockNeeds[b] = need
+		}
+	}
+
+	// Region restarts after calls inside loops (section 4.4): on return
+	// the analysis restarts "for the remainder" — the region reaching
+	// from the post-call block around the back edge to the next call
+	// site. The base technique sizes the restart from that straight-line
+	// segment alone, losing the loop's cross-iteration window (the
+	// deficiency the paper observed on call-dense benchmarks); Improved
+	// restores the full window computed with the callee inlined.
+	for _, l := range a.Loops {
+		for _, bi := range l.Exclusive {
+			if bi == 0 {
+				continue
+			}
+			last := pr.Blocks[bi-1].Last()
+			if last == nil || !last.Op.IsCall() {
+				continue
+			}
+			if opt.Improved {
+				rep.PostCallNeeds[bi] = rep.BlockNeeds[bi]
+				continue
+			}
+			pq := &pseudoIQ{opt: opt, effUnits: opt.fuCounts()}
+			res := pq.analyzeBlock(callSegment(pr, l, bi), nil)
+			need := res.need
+			if need > opt.IQCapacity {
+				need = opt.IQCapacity
+			}
+			if need < 1 {
+				need = 1
+			}
+			rep.PostCallNeeds[bi] = need
+		}
+	}
+
+	// Library calls: the queue goes to its maximum immediately before the
+	// call (section 4.4). Improved keeps accurate values elsewhere.
+	for bi, blk := range pr.Blocks {
+		if last := blk.Last(); last != nil && last.Op == isa.CallLib {
+			rep.BlockNeeds[bi] = opt.IQCapacity
+		}
+	}
+
+	for bi := range rep.BlockNeeds {
+		if rep.BlockNeeds[bi] < 1 {
+			rep.BlockNeeds[bi] = 1
+		}
+	}
+	_ = p
+	return rep
+}
+
+// placeHints materialises hint NOOPs or tags so that every region sees
+// the correct max_new_range, following the paper's figure 5:
+//   - every DAG block gets its own hint (the paper analyses and encodes
+//     each basic block individually), which also restarts the region
+//     after procedure calls (section 4.4);
+//   - a loop gets ONE hint, on each entry edge (at the end of every
+//     non-back-edge predecessor of the header), never inside the loop —
+//     a hint in the header would re-open the region every iteration and
+//     defeat the cross-iteration window of figure 4;
+//   - a block inside a loop still needs a hint when control re-enters it
+//     from elsewhere: after a call returns (the callee placed its own
+//     hints) or after an inner loop exits.
+func placeHints(pr *prog.Proc, rep *ProcReport, opt Options, global *Report) {
+	a := cfg.Analyze(pr)
+	isHeader := map[int]bool{}
+	for _, l := range a.Loops {
+		isHeader[l.Header] = true
+	}
+
+	atTop := map[int]int{} // block -> hint value at top
+	atEnd := map[int]int{} // block -> hint value before terminator
+	need := rep.BlockNeeds
+
+	for bi, blk := range pr.Blocks {
+		inLoop := a.LoopOf[bi] != -1
+		switch {
+		case isHeader[bi]:
+			_, outside := loopForHeader(a, bi).BackEdgePreds(pr)
+			for _, p := range outside {
+				atEnd[p] = need[bi]
+			}
+			if len(outside) == 0 || bi == 0 {
+				// Entry block that is also a header: unavoidable top hint.
+				atTop[bi] = need[bi]
+			}
+		case !inLoop:
+			atTop[bi] = need[bi]
+		default:
+			// Inside a loop: restart the region after calls and after
+			// inner-loop exits.
+			if bi > 0 {
+				if last := pr.Blocks[bi-1].Last(); last != nil && last.Op.IsCall() {
+					if v, ok := rep.PostCallNeeds[bi]; ok {
+						atTop[bi] = v
+					} else {
+						atTop[bi] = need[bi]
+					}
+					break
+				}
+			}
+			for _, p := range blk.Preds {
+				if a.LoopOf[p] != a.LoopOf[bi] && !isHeader[bi] {
+					atTop[bi] = need[bi]
+					break
+				}
+			}
+		}
+	}
+
+	// Materialised hints carry dispatch slack: dispatch is bundled (up to
+	// 8 per cycle), so a region sized exactly to the analytic requirement
+	// would bounce dispatch at every region transition without saving
+	// anything further. See Options.DispatchSlack and the ablation bench.
+	slack := opt.DispatchSlack
+	clamp := func(v int) int {
+		v += slack
+		if v > opt.IQCapacity {
+			v = opt.IQCapacity
+		}
+		return v
+	}
+	for bi, blk := range pr.Blocks {
+		if v, ok := atTop[bi]; ok {
+			applyHint(blk, clamp(v), opt.Mode, true, global)
+			rep.Hints++
+		}
+		if v, ok := atEnd[bi]; ok {
+			applyHint(blk, clamp(v), opt.Mode, false, global)
+			rep.Hints++
+		}
+	}
+}
+
+// callSegment linearises the loop region a post-call restart governs: the
+// blocks from bi to the loop's layout end, wrapping around the back edge
+// through the blocks before bi, stopping after the first call on each
+// side (the next hint). A straight-line approximation of the region
+// between consecutive hints.
+func callSegment(pr *prog.Proc, l *cfg.Loop, bi int) []prog.Inst {
+	var seg []prog.Inst
+	appendRun := func(blocks []int) (hitCall bool) {
+		for _, b := range blocks {
+			seg = append(seg, pr.Blocks[b].Insts...)
+			if last := pr.Blocks[b].Last(); last != nil && last.Op.IsCall() {
+				return true
+			}
+		}
+		return false
+	}
+	var after, before []int
+	for _, b := range l.Exclusive {
+		if b >= bi {
+			after = append(after, b)
+		} else {
+			before = append(before, b)
+		}
+	}
+	if !appendRun(after) {
+		appendRun(before)
+	}
+	return seg
+}
+
+func loopForHeader(a *cfg.Analysis, header int) *cfg.Loop {
+	for _, l := range a.Loops {
+		if l.Header == header {
+			return l
+		}
+	}
+	return nil
+}
+
+// applyHint installs one hint in a block, at the top or just before the
+// terminator.
+func applyHint(blk *prog.Block, value int, mode Mode, top bool, global *Report) {
+	switch mode {
+	case ModeNOOP:
+		h := prog.NewInst(isa.HintNop)
+		h.Imm = int64(value)
+		h.Hint = value
+		if top {
+			blk.Insts = append([]prog.Inst{h}, blk.Insts...)
+		} else {
+			n := len(blk.Insts)
+			if n > 0 && blk.Insts[n-1].Terminates() {
+				blk.Insts = append(blk.Insts[:n-1], h, blk.Insts[n-1])
+			} else {
+				blk.Insts = append(blk.Insts, h)
+			}
+		}
+		global.HintsInserted++
+	case ModeTag:
+		tag := func(in *prog.Inst) {
+			if in.Hint == 0 {
+				global.TagsApplied++
+			}
+			in.Hint = value
+		}
+		if top {
+			for i := range blk.Insts {
+				if blk.Insts[i].Op.Class() != isa.ClassNop {
+					tag(&blk.Insts[i])
+					return
+				}
+			}
+			// Block of NOOPs only: tag the first instruction regardless.
+			if len(blk.Insts) > 0 {
+				tag(&blk.Insts[0])
+			}
+		} else {
+			if n := len(blk.Insts); n > 0 {
+				tag(&blk.Insts[n-1])
+			}
+		}
+	}
+}

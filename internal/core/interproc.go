@@ -1,0 +1,95 @@
+package core
+
+import (
+	"repro/internal/isa"
+	"repro/internal/prog"
+)
+
+// procSummary captures what a callee does to shared machine resources —
+// the information the paper's hand-applied "Improved" analysis used for
+// inter-procedural functional-unit contention (section 5.3). fuPressure
+// estimates how many units of each class the callee keeps busy in steady
+// state, computed from its instruction mix and an issue-width-bound
+// schedule estimate.
+type procSummary struct {
+	fuPressure fuCounts
+	insts      int
+}
+
+// minus returns unit availability reduced by a callee's steady pressure,
+// floored at one unit per class so the analysis always terminates.
+func (f fuCounts) minus(p fuCounts) fuCounts {
+	return fuCounts{
+		intALU:   f.intALU - p.intALU,
+		intMul:   f.intMul - p.intMul,
+		fpALU:    f.fpALU - p.fpALU,
+		fpMulDiv: f.fpMulDiv - p.fpMulDiv,
+		memPorts: f.memPorts - p.memPorts,
+	}.clampMin1()
+}
+
+// inlineBody returns up to max of a procedure's computational
+// instructions in layout order (control transfers and NOOPs dropped) for
+// depth-1 inlining into a caller's loop-body analysis.
+func inlineBody(pr *prog.Proc, max int) []prog.Inst {
+	var out []prog.Inst
+	for _, blk := range pr.Blocks {
+		for _, in := range blk.Insts {
+			cl := in.Op.Class()
+			if cl == isa.ClassNop || cl == isa.ClassCtrl || cl == isa.ClassBranch || cl == isa.ClassHalt {
+				continue
+			}
+			out = append(out, in)
+			if len(out) >= max {
+				return out
+			}
+		}
+	}
+	return out
+}
+
+// summarizeProcs computes per-procedure resource summaries. Recursion and
+// call order do not matter because the summary is purely local (callee
+// bodies only); the paper's manual analysis likewise considered "the most
+// heavily used procedures" in isolation.
+func summarizeProcs(p *prog.Program, opt Options) map[int]procSummary {
+	out := make(map[int]procSummary, len(p.Procs))
+	for _, pr := range p.Procs {
+		if pr.IsLib {
+			continue
+		}
+		var perClass [isa.NumClasses]int
+		total := 0
+		for _, blk := range pr.Blocks {
+			for i := range blk.Insts {
+				cl := blk.Insts[i].Op.Class()
+				if cl == isa.ClassNop {
+					continue
+				}
+				perClass[cl]++
+				total++
+			}
+		}
+		if total == 0 {
+			continue
+		}
+		// Steady-state cycles ≈ insts / issue width (optimistic: real
+		// schedules are longer, making this an upper bound on pressure,
+		// which is the conservative direction for entry sizing).
+		cycles := ceilDiv(total, opt.IssueWidth)
+		press := func(c isa.Class) int {
+			return ceilDiv(perClass[c], cycles)
+		}
+		out[pr.ID] = procSummary{
+			insts: total,
+			fuPressure: fuCounts{
+				intALU:   press(isa.ClassIntALU) + press(isa.ClassBranch) + press(isa.ClassCtrl),
+				intMul:   press(isa.ClassIntMul),
+				fpALU:    press(isa.ClassFPALU),
+				fpMulDiv: press(isa.ClassFPMulDiv),
+				memPorts: press(isa.ClassLoad) + press(isa.ClassStore),
+			},
+		}
+	}
+	return out
+}

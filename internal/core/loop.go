@@ -1,0 +1,202 @@
+package core
+
+import (
+	"repro/internal/ddg"
+	"repro/internal/isa"
+	"repro/internal/prog"
+)
+
+// LoopEquationsNeed exposes the paper's analytical loop method (figure 4)
+// for tools and examples: the issue-queue entries needed to keep the
+// critical cyclic dependence set at full speed, and the initiation
+// interval.
+func LoopEquationsNeed(body []prog.Inst, opt Options) (need, ii int) {
+	opt.fill()
+	la := &loopAnalysis{opt: opt}
+	return la.equationsNeed(body)
+}
+
+// CombinedLoopNeed exposes the combined loop estimate (equations capped by the
+// resident-population measurement) used by the instrumentation pass.
+func CombinedLoopNeed(body []prog.Inst, opt Options) int {
+	opt.fill()
+	la := &loopAnalysis{opt: opt}
+	need, _ := la.loopNeed(body)
+	return need
+}
+
+// loopAnalysis implements the paper's loop analysis (section 4.3,
+// figure 4). Out-of-order execution overlaps loop iterations, so the
+// issue-queue requirement must cover instructions from several iterations
+// at once. The cyclic dependence sets (CDSs) of the body's dependence
+// graph bound how fast iterations can start (the recurrence initiation
+// interval); every instruction's issue time is then expressed as an
+// equation relative to the critical CDS — an iteration offset — and the
+// entry requirement follows from how many whole iterations separate an
+// instruction from the CDS instance it issues with.
+type loopAnalysis struct {
+	opt Options
+}
+
+// loopNeed computes the issue-queue entries a loop body requires for
+// unimpeded pipelined execution, plus the recurrence II (for
+// diagnostics). Two estimators exist:
+//
+//   - equationsNeed: the paper's figure-4 CDS/equations method, which
+//     assumes the recurrence II is achieved exactly and derives the
+//     cross-iteration window analytically from iteration offsets;
+//   - simulateNeed: a binary search for the smallest dispatch budget
+//     whose pseudo-issue-queue schedule over several unrolled iterations
+//     is no slower than the unconstrained one — a direct measurement of
+//     the paper's definition ("the maximum number of IQ entries needed
+//     [to] execute in the same number of cycles").
+//
+// The measurement is authoritative: it models the hardware's
+// max_new_range check exactly (in-order bundled dispatch, one-cycle
+// dispatch-to-issue gap, entries freed at issue) and, unlike the
+// analytical method, it neither over-serves non-critical instructions
+// that merely *could* issue early (e.g. loop counters racing ahead of a
+// pointer chase) nor ignores residency that resource contention creates.
+// The analytical method remains the paper-fidelity diagnostic.
+func (la *loopAnalysis) loopNeed(body []prog.Inst) (need, ii int) {
+	_, ii = la.equationsNeed(body)
+	need = la.simulateNeed(body)
+	if need < 1 {
+		need = 1
+	}
+	if need > la.opt.IQCapacity {
+		need = la.opt.IQCapacity
+	}
+	return need, ii
+}
+
+// equationsNeed is the paper's analytical loop method (figure 4).
+func (la *loopAnalysis) equationsNeed(body []prog.Inst) (need, ii int) {
+	g := ddg.BuildLoop(body)
+	n := g.N()
+	if n == 0 {
+		return 1, 1
+	}
+
+	ii = la.resourceII(g)
+	for _, comp := range g.CyclicSCCs() {
+		if rec := g.RecurrenceII(comp); rec > ii {
+			ii = rec
+		}
+	}
+
+	// Steady-state issue times under initiation interval ii: relax
+	// t[to] = max(t[to], t[from] + lat - ii*dist). With ii at least the
+	// maximum cycle ratio there are no positive cycles, so this converges
+	// within n passes.
+	t := make([]int, n)
+	for pass := 0; pass < n+1; pass++ {
+		changed := false
+		for v := 0; v < n; v++ {
+			for _, e := range g.Out[v] {
+				nt := t[v] + e.Latency - ii*e.Distance
+				if nt > t[e.To] {
+					t[e.To] = nt
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	// Iteration offsets (the equations of figure 4(c) with the cycle
+	// offsets eliminated): instruction x issues alongside the critical
+	// CDS's instance from k = floor(t_x / ii) iterations in the future.
+	need = 1
+	for x := 0; x < n; x++ {
+		k := t[x] / ii
+		var entries int
+		if k >= 1 {
+			// x's iteration i must coexist with the anchor from
+			// iteration i+k: everything from x to the end of the body
+			// (n - pos), the k-1 whole iterations between, and the
+			// anchor instruction itself (paper's 15-entry example).
+			entries = (n - x) + (k-1)*n + 1
+		} else {
+			entries = 1
+		}
+		if entries > need {
+			need = entries
+		}
+	}
+
+	// An intra-iteration burst can still exceed the recurrence-derived
+	// figure (e.g. wide independent bodies): take the DAG requirement of
+	// one bare iteration as a floor.
+	pq := &pseudoIQ{opt: la.opt, effUnits: la.opt.fuCounts()}
+	if r := pq.analyzeBlock(body, nil); r.need > need {
+		need = r.need
+	}
+
+	if need > la.opt.IQCapacity {
+		need = la.opt.IQCapacity
+	}
+	return need, ii
+}
+
+// simulateNeed unrolls the body and searches for the smallest dispatch
+// budget that does not slow the unrolled schedule; register definitions
+// in copy i reach uses in copy i+1, so loop-carried dependences appear
+// naturally.
+func (la *loopAnalysis) simulateNeed(body []prog.Inst) int {
+	n := len(body)
+	if n == 0 {
+		return 1
+	}
+	// Enough iterations that a window of up to twice the queue capacity
+	// can form after the warm-up iteration, bounded for compile time.
+	copies := (2*la.opt.IQCapacity+4*n)/n + 1
+	if copies < 8 {
+		copies = 8
+	}
+	if n*copies > 4096 {
+		copies = 4096 / n
+		if copies < 2 {
+			copies = 2
+		}
+	}
+	unrolled := make([]prog.Inst, 0, n*copies)
+	for c := 0; c < copies; c++ {
+		unrolled = append(unrolled, body...)
+	}
+	pq := &pseudoIQ{opt: la.opt, effUnits: la.opt.fuCounts()}
+	return pq.minBudgetNoSlowdown(unrolled)
+}
+
+// resourceII is the initiation interval forced by the machine's width and
+// functional-unit counts, independent of dependences.
+func (la *loopAnalysis) resourceII(g *ddg.Graph) int {
+	n := g.N()
+	ii := ceilDiv(n, la.opt.IssueWidth)
+	var perClass [isa.NumClasses]int
+	for i := 0; i < n; i++ {
+		perClass[g.Insts[i].Op.Class()]++
+	}
+	units := la.opt.fuCounts().clampMin1()
+	for c := isa.Class(0); c < isa.NumClasses; c++ {
+		if perClass[c] == 0 {
+			continue
+		}
+		if r := ceilDiv(perClass[c], units.unitsFor(c)); r > ii {
+			ii = r
+		}
+	}
+	if ii < 1 {
+		ii = 1
+	}
+	return ii
+}
+
+func ceilDiv(a, b int) int {
+	if b <= 0 {
+		return a
+	}
+	return (a + b - 1) / b
+}

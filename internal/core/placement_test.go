@@ -1,0 +1,244 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/prog"
+)
+
+// hintsIn returns the number of HintNops in a block.
+func hintsIn(blk *prog.Block) int {
+	n := 0
+	for i := range blk.Insts {
+		if blk.Insts[i].Op == isa.HintNop {
+			n++
+		}
+	}
+	return n
+}
+
+func TestOptionsFillDefaults(t *testing.T) {
+	o := Options{}
+	o.fill()
+	if o.IssueWidth != 8 || o.IQCapacity != 80 || o.IntALU != 6 {
+		t.Errorf("defaults not filled: %+v", o)
+	}
+	if o.DispatchSlack != 4 {
+		t.Errorf("default slack = %d, want DispatchWidth/2 = 4", o.DispatchSlack)
+	}
+	neg := Options{DispatchSlack: -1}
+	neg.fill()
+	if neg.DispatchSlack != 0 {
+		t.Errorf("negative slack = %d, want 0 (disabled)", neg.DispatchSlack)
+	}
+	custom := Options{DispatchSlack: 2}
+	custom.fill()
+	if custom.DispatchSlack != 2 {
+		t.Errorf("explicit slack overridden: %d", custom.DispatchSlack)
+	}
+}
+
+func TestSlackAppliedToHintValues(t *testing.T) {
+	build := func() *prog.Program {
+		b := prog.NewBuilder("slacky")
+		pb := b.Proc("main").Entry()
+		for i := 0; i < 6; i++ {
+			pb.Addi(isa.R(2), isa.R(2), 1) // serial: tiny analytic need
+		}
+		pb.Halt()
+		return pb.MustBuild()
+	}
+	noSlack := build()
+	if _, err := Instrument(noSlack, Options{Mode: ModeNOOP, DispatchSlack: -1}); err != nil {
+		t.Fatal(err)
+	}
+	withSlack := build()
+	if _, err := Instrument(withSlack, Options{Mode: ModeNOOP, DispatchSlack: 8}); err != nil {
+		t.Fatal(err)
+	}
+	hv := func(p *prog.Program) int64 {
+		for _, blk := range p.Procs[0].Blocks {
+			for i := range blk.Insts {
+				if blk.Insts[i].Op == isa.HintNop {
+					return blk.Insts[i].Imm
+				}
+			}
+		}
+		return -1
+	}
+	a, b := hv(noSlack), hv(withSlack)
+	if b != a+8 {
+		t.Errorf("slack 8 hint %d, want %d+8", b, a)
+	}
+}
+
+// TestLoopEntryEdgeHintPlacement: a loop's hint must sit at the end of
+// the entering block, not inside the loop.
+func TestLoopEntryEdgeHintPlacement(t *testing.T) {
+	b := prog.NewBuilder("edges")
+	b.Proc("main").Entry().
+		Li(isa.R(1), 100).
+		Li(isa.R(9), 5).
+		Label("hdr").
+		Addi(isa.R(2), isa.R(2), 1).
+		Addi(isa.R(1), isa.R(1), -1).
+		Bne(isa.R(1), isa.RZero, "hdr").
+		Halt()
+	p := b.MustBuild()
+	if _, err := Instrument(p, Options{Mode: ModeNOOP}); err != nil {
+		t.Fatal(err)
+	}
+	main := p.Procs[0]
+	var hdr, entry *prog.Block
+	for _, blk := range main.Blocks {
+		if blk.Label == "hdr" {
+			hdr = blk
+		}
+	}
+	entry = main.Blocks[0]
+	if hintsIn(hdr) != 0 {
+		t.Error("loop header carries a hint (would re-open the region every iteration)")
+	}
+	// The entry block carries its own top hint plus the loop hint at its
+	// end (it is the loop's entering block).
+	if hintsIn(entry) < 2 {
+		t.Errorf("entering block has %d hints, want its own + the loop's", hintsIn(entry))
+	}
+	if entry.Insts[len(entry.Insts)-1].Op != isa.HintNop {
+		t.Error("loop hint must be the last instruction of the entering block")
+	}
+}
+
+// TestPostCallRestartInsideLoop: after a call inside a loop the region
+// must restart (the callee installed its own hints).
+func TestPostCallRestartInsideLoop(t *testing.T) {
+	b := prog.NewBuilder("postcall")
+	b.Proc("main").Entry().
+		Li(isa.R(1), 100).
+		Label("loop").
+		Addi(isa.R(2), isa.R(2), 1).
+		Call("leaf").
+		Addi(isa.R(3), isa.R(3), 1).
+		Addi(isa.R(1), isa.R(1), -1).
+		Bne(isa.R(1), isa.RZero, "loop").
+		Halt()
+	b.Proc("leaf").
+		Muli(isa.R(4), isa.R(4), 3).
+		Ret()
+	p := b.MustBuild()
+	if _, err := Instrument(p, Options{Mode: ModeNOOP}); err != nil {
+		t.Fatal(err)
+	}
+	main := p.Procs[0]
+	// Find the block after the call block.
+	restartHinted := false
+	for bi, blk := range main.Blocks {
+		if last := blk.Last(); last != nil && last.Op == isa.Call {
+			next := main.Blocks[bi+1]
+			if next.Insts[0].Op == isa.HintNop {
+				restartHinted = true
+			}
+		}
+	}
+	if !restartHinted {
+		t.Error("post-call block inside loop must restart the region with a hint")
+	}
+	// The callee's entry must carry its own hint.
+	leaf := p.ProcByName("leaf")
+	if leaf.Blocks[0].Insts[0].Op != isa.HintNop {
+		t.Error("callee entry must carry its own hint (section 4.4)")
+	}
+}
+
+// TestLibProcsNotInstrumented: library procedures are opaque; no hints
+// inside them.
+func TestLibProcsNotInstrumented(t *testing.T) {
+	b := prog.NewBuilder("libby")
+	b.Proc("main").Entry().
+		CallLib("ext").
+		Halt()
+	b.LibProc("ext").
+		Addi(isa.R(2), isa.R(2), 1).
+		Ret()
+	p := b.MustBuild()
+	if _, err := Instrument(p, Options{Mode: ModeNOOP}); err != nil {
+		t.Fatal(err)
+	}
+	ext := p.ProcByName("ext")
+	for _, blk := range ext.Blocks {
+		if hintsIn(blk) != 0 {
+			t.Error("library procedure was instrumented")
+		}
+	}
+	// The calllib block's hint must allow the maximum queue size.
+	main := p.Procs[0]
+	maxSeen := 0
+	for _, blk := range main.Blocks {
+		for i := range blk.Insts {
+			if blk.Insts[i].Op == isa.HintNop && int(blk.Insts[i].Imm) > maxSeen {
+				maxSeen = int(blk.Insts[i].Imm)
+			}
+		}
+	}
+	if maxSeen != 80 {
+		t.Errorf("library call hint = %d, want the full 80", maxSeen)
+	}
+}
+
+// TestInstrumentIdempotentStructure: instrumenting an already
+// instrumented program must not error and must keep it runnable (hints
+// are replaced or duplicated, never corrupting control flow).
+func TestInstrumentTwiceStillLinks(t *testing.T) {
+	b := prog.NewBuilder("twice")
+	b.Proc("main").Entry().
+		Li(isa.R(1), 3).
+		Label("l").
+		Addi(isa.R(1), isa.R(1), -1).
+		Bne(isa.R(1), isa.RZero, "l").
+		Halt()
+	p := b.MustBuild()
+	if _, err := Instrument(p, Options{Mode: ModeNOOP}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Instrument(p, Options{Mode: ModeNOOP}); err != nil {
+		t.Fatalf("second instrumentation: %v", err)
+	}
+	if !p.Linked() {
+		t.Error("program not linked after double instrumentation")
+	}
+}
+
+// TestCallSegmentWrapsBackEdge: the segment for a post-call restart must
+// include blocks from the next iteration up to the next call.
+func TestCallSegmentWrapsBackEdge(t *testing.T) {
+	b := prog.NewBuilder("seg")
+	b.Proc("main").Entry().
+		Li(isa.R(1), 10).
+		Label("loop").
+		Addi(isa.R(2), isa.R(2), 1). // pre-call: 1 inst + call
+		Call("f").
+		Addi(isa.R(3), isa.R(3), 1). // post-call: 3 insts + branch
+		Addi(isa.R(4), isa.R(4), 1).
+		Addi(isa.R(1), isa.R(1), -1).
+		Bne(isa.R(1), isa.RZero, "loop").
+		Halt()
+	b.Proc("f").Ret()
+	p := b.MustBuild()
+	rep, err := AnalyzeOnly(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	main := rep.Procs[0]
+	if len(main.PostCallNeeds) != 1 {
+		t.Fatalf("post-call needs = %v, want one entry", main.PostCallNeeds)
+	}
+	for _, v := range main.PostCallNeeds {
+		// The wrap-around segment is 4 post-call + 2 pre-call+call insts:
+		// its need must be at least the post-call block alone (3 adds + 1
+		// branch dispatchable at once) and at most the capacity.
+		if v < 2 || v > 80 {
+			t.Errorf("segment need %d out of plausible range", v)
+		}
+	}
+}

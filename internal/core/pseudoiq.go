@@ -1,0 +1,299 @@
+package core
+
+import (
+	"repro/internal/ddg"
+	"repro/internal/isa"
+	"repro/internal/prog"
+)
+
+// pseudoIQ performs the paper's DAG analysis (section 4.2, figure 3): it
+// simulates the scheduler's behaviour on one basic block with a pseudo
+// issue queue. Instructions are dispatched up to dispatchWidth per
+// iteration, issue when their DDG parents have written back (operation
+// latencies; cache hits assumed) subject to the issue width and
+// functional-unit counts, and the block's issue-queue requirement is the
+// maximum, over iterations, of the distance between the oldest unissued
+// instruction and the youngest instruction issuing that iteration.
+type pseudoIQ struct {
+	opt Options
+	// effUnits allows the Improved analysis to model inter-procedural
+	// functional-unit contention by reducing availability.
+	effUnits fuCounts
+}
+
+type fuCounts struct {
+	intALU, intMul, fpALU, fpMulDiv, memPorts int
+}
+
+func (f fuCounts) unitsFor(c isa.Class) int {
+	switch c {
+	case isa.ClassIntALU, isa.ClassBranch, isa.ClassCtrl:
+		return f.intALU
+	case isa.ClassIntMul:
+		return f.intMul
+	case isa.ClassFPALU:
+		return f.fpALU
+	case isa.ClassFPMulDiv:
+		return f.fpMulDiv
+	case isa.ClassLoad, isa.ClassStore:
+		return f.memPorts
+	default:
+		return 1 << 30
+	}
+}
+
+func (f fuCounts) clampMin1() fuCounts {
+	m := func(x int) int {
+		if x < 1 {
+			return 1
+		}
+		return x
+	}
+	return fuCounts{m(f.intALU), m(f.intMul), m(f.fpALU), m(f.fpMulDiv), m(f.memPorts)}
+}
+
+// blockResult is the outcome of analysing one block.
+type blockResult struct {
+	// need is the number of issue-queue entries the block requires.
+	need int
+	// residuals gives, for each register defined in the block, how many
+	// cycles after the block's last issue its value becomes available —
+	// the conservative summary passed to successor blocks.
+	residuals map[isa.Reg]int
+	// cycles is the block's schedule length (for interprocedural
+	// summaries).
+	cycles int
+}
+
+// analyzeBlock runs the pseudo issue queue over insts. residuals carries
+// the ready-time summary of values produced by predecessor blocks
+// (cycles after block entry at which each live-in register arrives).
+func (pq *pseudoIQ) analyzeBlock(insts []prog.Inst, residuals map[isa.Reg]int) blockResult {
+	g := ddg.BuildBlock(insts)
+	n := g.N()
+	if n == 0 {
+		return blockResult{need: 1, residuals: map[isa.Reg]int{}}
+	}
+	units := pq.effUnits.clampMin1()
+
+	const unscheduled = -1
+	issueTime := make([]int, n)
+	writeback := make([]int, n)
+	// externalReady is the cycle each instruction's external (live-in)
+	// operands arrive.
+	externalReady := make([]int, n)
+	for i := 0; i < n; i++ {
+		issueTime[i] = unscheduled
+		in := &g.Insts[i]
+		// Sources with no in-block producer take the predecessor residual.
+		hasProducer := map[isa.Reg]bool{}
+		for _, e := range g.In[i] {
+			src := g.Insts[e.From].Dst
+			hasProducer[src] = true
+		}
+		for _, s := range in.Sources() {
+			if hasProducer[s] {
+				continue
+			}
+			if r, ok := residuals[s]; ok && r > externalReady[i] {
+				externalReady[i] = r
+			}
+		}
+	}
+
+	need := 1
+	dispatched := 0
+	issued := 0
+	oldestUnissued := 0
+	lastIssueCycle := 0
+	for t := 0; issued < n; t++ {
+		if t > 12*n+300 {
+			// Defensive: 12 is the longest operation latency, so even a
+			// fully serial block schedules within this bound; with
+			// clamped unit counts every ready instruction issues.
+			break
+		}
+		// Issue stage: oldest-first, bounded by issue width and units.
+		// Only instructions dispatched on an earlier iteration are
+		// candidates — dispatch happens at the end of the cycle, like
+		// the hardware, so nothing issues the cycle it enters.
+		var unitsUsed [isa.NumClasses]int
+		issuedThisCycle := 0
+		youngest := -1
+		for i := oldestUnissued; i < dispatched; i++ {
+			if issueTime[i] != unscheduled {
+				continue
+			}
+			if issuedThisCycle >= pq.opt.IssueWidth {
+				break
+			}
+			if externalReady[i] > t {
+				continue
+			}
+			ready := true
+			for _, e := range g.In[i] {
+				if e.Distance != 0 {
+					continue
+				}
+				if issueTime[e.From] == unscheduled || writeback[e.From] > t {
+					ready = false
+					break
+				}
+			}
+			if !ready {
+				continue
+			}
+			cl := g.Insts[i].Op.Class()
+			if unitsUsed[cl] >= units.unitsFor(cl) {
+				continue
+			}
+			unitsUsed[cl]++
+			issueTime[i] = t
+			writeback[i] = t + g.Insts[i].Op.Latency()
+			issuedThisCycle++
+			issued++
+			if i > youngest {
+				youngest = i
+			}
+			lastIssueCycle = t
+		}
+		if issuedThisCycle > 0 {
+			// oldestUnissued still holds the cycle-start value: the
+			// paper's distance runs from the oldest instruction resident
+			// this iteration to the youngest issuing now (figure 3).
+			if span := youngest - oldestUnissued + 1; span > need {
+				need = span
+			}
+		}
+		for oldestUnissued < n && issueTime[oldestUnissued] != unscheduled {
+			oldestUnissued++
+		}
+		// Dispatch stage: the paper places "the first few instructions"
+		// and adds new ones at the tail each iteration.
+		add := pq.opt.DispatchWidth
+		for add > 0 && dispatched < n {
+			dispatched++
+			add--
+		}
+	}
+
+	// Residuals for successors: cycles past the block's schedule end at
+	// which each defined register becomes available.
+	out := map[isa.Reg]int{}
+	end := lastIssueCycle + 1
+	for i := 0; i < n; i++ {
+		in := &g.Insts[i]
+		if !in.HasDst() || issueTime[i] == unscheduled {
+			continue
+		}
+		r := writeback[i] - end
+		if r < 0 {
+			r = 0
+		}
+		out[in.Dst] = r // later definitions overwrite earlier ones
+	}
+	return blockResult{need: need, residuals: out, cycles: end}
+}
+
+// scheduleLength runs the pseudo-issue-queue schedule over a prebuilt
+// dependence graph with a dispatch budget — the maximum number of
+// dispatched-but-unissued instructions allowed in the queue (0 =
+// unlimited) — and returns the schedule length in cycles. The budget
+// models max_new_range over a single region exactly: in-order greedy
+// dispatch (up to DispatchWidth per cycle, at cycle end, so nothing
+// issues the cycle it enters), entries freed at issue.
+func (pq *pseudoIQ) scheduleLength(g *ddg.Graph, budget int) int {
+	n := g.N()
+	if n == 0 {
+		return 0
+	}
+	units := pq.effUnits.clampMin1()
+	const unscheduled = -1
+	issueTime := make([]int, n)
+	writeback := make([]int, n)
+	for i := range issueTime {
+		issueTime[i] = unscheduled
+	}
+	dispatched := 0
+	issued := 0
+	oldestUnissued := 0
+	last := 0
+	for t := 0; issued < n; t++ {
+		if t > 14*n+400 {
+			break
+		}
+		var unitsUsed [isa.NumClasses]int
+		issuedThisCycle := 0
+		for i := oldestUnissued; i < dispatched; i++ {
+			if issueTime[i] != unscheduled {
+				continue
+			}
+			if issuedThisCycle >= pq.opt.IssueWidth {
+				break
+			}
+			ready := true
+			for _, e := range g.In[i] {
+				if issueTime[e.From] == unscheduled || writeback[e.From] > t {
+					ready = false
+					break
+				}
+			}
+			if !ready {
+				continue
+			}
+			cl := g.Insts[i].Op.Class()
+			if unitsUsed[cl] >= units.unitsFor(cl) {
+				continue
+			}
+			unitsUsed[cl]++
+			issueTime[i] = t
+			writeback[i] = t + g.Insts[i].Op.Latency()
+			issuedThisCycle++
+			issued++
+			if t > last {
+				last = t
+			}
+		}
+		for oldestUnissued < n && issueTime[oldestUnissued] != unscheduled {
+			oldestUnissued++
+		}
+		// Dispatch stage, budget-limited: resident = dispatched - issued.
+		add := pq.opt.DispatchWidth
+		for add > 0 && dispatched < n {
+			if budget > 0 && dispatched-issued >= budget {
+				break
+			}
+			dispatched++
+			add--
+		}
+	}
+	return last + 1
+}
+
+// minBudgetNoSlowdown finds, by binary search, the smallest dispatch
+// budget whose schedule is no slower than the unconstrained one (within
+// a small pipeline-fill tolerance). This is precisely the paper's
+// question — "the maximum number of IQ entries needed [to] execute in
+// the same number of cycles" — answered by measurement, and it is what
+// the loop analysis installs as max_new_range.
+func (pq *pseudoIQ) minBudgetNoSlowdown(insts []prog.Inst) int {
+	g := ddg.BuildBlock(insts)
+	if g.N() == 0 {
+		return 1
+	}
+	unconstrained := pq.scheduleLength(g, 0)
+	allowed := unconstrained + 1 // strict: at most pipeline-fill skew
+	lo, hi := 1, pq.opt.IQCapacity
+	if pq.scheduleLength(g, hi) > allowed {
+		return hi
+	}
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if pq.scheduleLength(g, mid) <= allowed {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}

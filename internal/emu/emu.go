@@ -1,0 +1,364 @@
+// Package emu is the functional emulator: the SimpleScalar "functional
+// core" equivalent. It executes a linked program with concrete register
+// and memory state and yields the committed dynamic instruction stream the
+// timing simulator consumes. Branch outcomes and memory addresses are
+// therefore real, not modelled.
+package emu
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/prog"
+	"repro/internal/trace"
+)
+
+// pageBits gives 4KiB pages of 512 words.
+const (
+	pageBits  = 12
+	pageWords = 1 << (pageBits - 3)
+)
+
+// Memory is a sparse, paged, word-granular memory. Addresses are byte
+// addresses rounded down to 8-byte alignment.
+type Memory struct {
+	pages map[uint64]*[pageWords]int64
+}
+
+// NewMemory returns an empty memory.
+func NewMemory() *Memory {
+	return &Memory{pages: map[uint64]*[pageWords]int64{}}
+}
+
+// Load reads the 8-byte word containing addr; unmapped memory reads 0.
+func (m *Memory) Load(addr uint64) int64 {
+	pg := m.pages[addr>>pageBits]
+	if pg == nil {
+		return 0
+	}
+	return pg[(addr>>3)&(pageWords-1)]
+}
+
+// Store writes the 8-byte word containing addr.
+func (m *Memory) Store(addr uint64, v int64) {
+	key := addr >> pageBits
+	pg := m.pages[key]
+	if pg == nil {
+		pg = new([pageWords]int64)
+		m.pages[key] = pg
+	}
+	pg[(addr>>3)&(pageWords-1)] = v
+}
+
+// Pages returns the number of mapped pages (for tests).
+func (m *Memory) Pages() int { return len(m.pages) }
+
+type position struct {
+	proc, block, inst int
+}
+
+// Emulator executes one program.
+type Emulator struct {
+	prog  *prog.Program
+	iregs [isa.IntRegs]int64
+	fregs [isa.FPRegs]float64
+	mem   *Memory
+	pos   position
+	stack []position
+	seq   int64
+	halt  bool
+
+	// Restart controls behaviour at program completion: when true the
+	// architectural state is preserved but control returns to the entry
+	// procedure, so short programs can fill any instruction budget (the
+	// paper runs fixed 100M-instruction windows of much longer programs).
+	Restart bool
+}
+
+// New returns an emulator over a linked program with the data segment
+// loaded.
+func New(p *prog.Program) (*Emulator, error) {
+	if !p.Linked() {
+		return nil, fmt.Errorf("program %q is not linked", p.Name)
+	}
+	e := &Emulator{prog: p, mem: NewMemory()}
+	for i, w := range p.Data {
+		e.mem.Store(p.DataBase+uint64(8*i), w)
+	}
+	e.pos = position{p.Entry, 0, 0}
+	return e, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(p *prog.Program) *Emulator {
+	e, err := New(p)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Mem exposes the memory (for tests and initialisation).
+func (e *Emulator) Mem() *Memory { return e.mem }
+
+// IntReg returns the value of integer register i.
+func (e *Emulator) IntReg(i int) int64 { return e.iregs[i] }
+
+// SetIntReg sets integer register i (r0 stays zero).
+func (e *Emulator) SetIntReg(i int, v int64) {
+	if i != 0 {
+		e.iregs[i] = v
+	}
+}
+
+// Halted reports whether the program has finished.
+func (e *Emulator) Halted() bool { return e.halt }
+
+// Seq returns the number of instructions executed so far.
+func (e *Emulator) Seq() int64 { return e.seq }
+
+func (e *Emulator) cur() *prog.Inst {
+	p := e.prog.Procs[e.pos.proc]
+	return &p.Blocks[e.pos.block].Insts[e.pos.inst]
+}
+
+func (e *Emulator) pcAt(pos position) int {
+	return e.prog.Procs[pos.proc].Blocks[pos.block].Insts[pos.inst].PC
+}
+
+// advance moves to the next sequential instruction within the procedure.
+func (e *Emulator) advance() position {
+	p := e.prog.Procs[e.pos.proc]
+	n := e.pos
+	n.inst++
+	if n.inst >= len(p.Blocks[n.block].Insts) {
+		n.block++
+		n.inst = 0
+	}
+	return n
+}
+
+func (e *Emulator) readInt(r isa.Reg) int64 {
+	if !r.IsInt() {
+		return 0
+	}
+	return e.iregs[r]
+}
+
+func (e *Emulator) writeInt(r isa.Reg, v int64) {
+	if r.IsInt() && r != isa.RZero {
+		e.iregs[r] = v
+	}
+}
+
+func (e *Emulator) readFP(r isa.Reg) float64 {
+	if !r.IsFP() {
+		return 0
+	}
+	return e.fregs[int(r)-isa.IntRegs]
+}
+
+func (e *Emulator) writeFP(r isa.Reg, v float64) {
+	if r.IsFP() {
+		e.fregs[int(r)-isa.IntRegs] = v
+	}
+}
+
+// Next implements trace.Stream: it executes one instruction and returns
+// its dynamic record.
+func (e *Emulator) Next() (trace.DynInst, bool) {
+	if e.halt {
+		return trace.DynInst{}, false
+	}
+	in := e.cur()
+	d := trace.DynInst{
+		Seq:  e.seq,
+		PC:   in.PC,
+		Op:   in.Op,
+		Dst:  in.Dst,
+		Src1: in.Src1,
+		Src2: in.Src2,
+		Hint: in.Hint,
+	}
+	if in.Op == isa.HintNop {
+		d.Hint = int(in.Imm)
+	}
+	e.seq++
+
+	next := e.advance()
+	switch in.Op {
+	case isa.Nop, isa.HintNop:
+		// nothing
+	case isa.Li:
+		e.writeInt(in.Dst, in.Imm)
+	case isa.Mov:
+		e.writeInt(in.Dst, e.readInt(in.Src1))
+	case isa.Add:
+		e.writeInt(in.Dst, e.readInt(in.Src1)+e.readInt(in.Src2))
+	case isa.Sub:
+		e.writeInt(in.Dst, e.readInt(in.Src1)-e.readInt(in.Src2))
+	case isa.And:
+		e.writeInt(in.Dst, e.readInt(in.Src1)&e.readInt(in.Src2))
+	case isa.Or:
+		e.writeInt(in.Dst, e.readInt(in.Src1)|e.readInt(in.Src2))
+	case isa.Xor:
+		e.writeInt(in.Dst, e.readInt(in.Src1)^e.readInt(in.Src2))
+	case isa.Shl:
+		e.writeInt(in.Dst, e.readInt(in.Src1)<<(uint64(e.readInt(in.Src2))&63))
+	case isa.Shr:
+		e.writeInt(in.Dst, int64(uint64(e.readInt(in.Src1))>>(uint64(e.readInt(in.Src2))&63)))
+	case isa.Slt:
+		e.writeInt(in.Dst, boolToInt(e.readInt(in.Src1) < e.readInt(in.Src2)))
+	case isa.Addi:
+		e.writeInt(in.Dst, e.readInt(in.Src1)+in.Imm)
+	case isa.Andi:
+		e.writeInt(in.Dst, e.readInt(in.Src1)&in.Imm)
+	case isa.Xori:
+		e.writeInt(in.Dst, e.readInt(in.Src1)^in.Imm)
+	case isa.Shli:
+		e.writeInt(in.Dst, e.readInt(in.Src1)<<(uint64(in.Imm)&63))
+	case isa.Shri:
+		e.writeInt(in.Dst, int64(uint64(e.readInt(in.Src1))>>(uint64(in.Imm)&63)))
+	case isa.Slti:
+		e.writeInt(in.Dst, boolToInt(e.readInt(in.Src1) < in.Imm))
+	case isa.Mul:
+		e.writeInt(in.Dst, e.readInt(in.Src1)*e.readInt(in.Src2))
+	case isa.Muli:
+		e.writeInt(in.Dst, e.readInt(in.Src1)*in.Imm)
+	case isa.Div:
+		e.writeInt(in.Dst, safeDiv(e.readInt(in.Src1), e.readInt(in.Src2)))
+	case isa.Rem:
+		e.writeInt(in.Dst, safeRem(e.readInt(in.Src1), e.readInt(in.Src2)))
+	case isa.FAdd:
+		e.writeFP(in.Dst, e.readFP(in.Src1)+e.readFP(in.Src2))
+	case isa.FSub:
+		e.writeFP(in.Dst, e.readFP(in.Src1)-e.readFP(in.Src2))
+	case isa.FMul:
+		e.writeFP(in.Dst, e.readFP(in.Src1)*e.readFP(in.Src2))
+	case isa.FDiv:
+		v := e.readFP(in.Src2)
+		if v == 0 {
+			v = 1
+		}
+		e.writeFP(in.Dst, e.readFP(in.Src1)/v)
+	case isa.FMov:
+		e.writeFP(in.Dst, e.readFP(in.Src1))
+	case isa.ItoF:
+		e.writeFP(in.Dst, float64(e.readInt(in.Src1)))
+	case isa.FtoI:
+		e.writeInt(in.Dst, int64(e.readFP(in.Src1)))
+	case isa.Ld:
+		d.Addr = uint64(e.readInt(in.Src1)+in.Imm) &^ 7
+		e.writeInt(in.Dst, e.mem.Load(d.Addr))
+	case isa.LdF:
+		d.Addr = uint64(e.readInt(in.Src1)+in.Imm) &^ 7
+		e.writeFP(in.Dst, float64(e.mem.Load(d.Addr)))
+	case isa.St:
+		d.Addr = uint64(e.readInt(in.Src1)+in.Imm) &^ 7
+		e.mem.Store(d.Addr, e.readInt(in.Src2))
+	case isa.StF:
+		d.Addr = uint64(e.readInt(in.Src1)+in.Imm) &^ 7
+		e.mem.Store(d.Addr, int64(e.readFP(in.Src2)))
+	case isa.Beq:
+		d.Taken = e.readInt(in.Src1) == e.readInt(in.Src2)
+		if d.Taken {
+			next = position{e.pos.proc, in.Target, 0}
+		}
+	case isa.Bne:
+		d.Taken = e.readInt(in.Src1) != e.readInt(in.Src2)
+		if d.Taken {
+			next = position{e.pos.proc, in.Target, 0}
+		}
+	case isa.Blt:
+		d.Taken = e.readInt(in.Src1) < e.readInt(in.Src2)
+		if d.Taken {
+			next = position{e.pos.proc, in.Target, 0}
+		}
+	case isa.Bge:
+		d.Taken = e.readInt(in.Src1) >= e.readInt(in.Src2)
+		if d.Taken {
+			next = position{e.pos.proc, in.Target, 0}
+		}
+	case isa.Jmp:
+		d.Taken = true
+		next = position{e.pos.proc, in.Target, 0}
+	case isa.Call, isa.CallLib:
+		d.Taken = true
+		e.stack = append(e.stack, next)
+		next = position{in.Target, 0, 0}
+	case isa.Ret:
+		d.Taken = true
+		if len(e.stack) == 0 {
+			return e.finish(d)
+		}
+		next = e.stack[len(e.stack)-1]
+		e.stack = e.stack[:len(e.stack)-1]
+	case isa.Halt:
+		return e.finish(d)
+	default:
+		panic(fmt.Sprintf("emu: unhandled opcode %v", in.Op))
+	}
+
+	e.pos = next
+	d.NextPC = e.pcAt(next)
+	return d, true
+}
+
+// finish handles program completion: either halt or restart at the entry.
+func (e *Emulator) finish(d trace.DynInst) (trace.DynInst, bool) {
+	if e.Restart {
+		e.pos = position{e.prog.Entry, 0, 0}
+		e.stack = e.stack[:0]
+		d.Taken = true
+		d.NextPC = e.pcAt(e.pos)
+		return d, true
+	}
+	e.halt = true
+	d.NextPC = d.PC + isa.InstBytes
+	return d, true
+}
+
+func boolToInt(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func safeDiv(a, b int64) int64 {
+	if b == 0 {
+		return 0
+	}
+	if a == -1<<63 && b == -1 {
+		return a
+	}
+	return a / b
+}
+
+func safeRem(a, b int64) int64 {
+	if b == 0 {
+		return 0
+	}
+	if a == -1<<63 && b == -1 {
+		return 0
+	}
+	return a % b
+}
+
+// Run executes up to budget instructions and returns the trace; a
+// convenience for tests.
+func Run(p *prog.Program, budget int64) ([]trace.DynInst, error) {
+	e, err := New(p)
+	if err != nil {
+		return nil, err
+	}
+	var out []trace.DynInst
+	for int64(len(out)) < budget {
+		d, ok := e.Next()
+		if !ok {
+			break
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}

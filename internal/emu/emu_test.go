@@ -1,0 +1,295 @@
+package emu
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/isa"
+	"repro/internal/prog"
+	"repro/internal/trace"
+)
+
+func TestMemorySparse(t *testing.T) {
+	m := NewMemory()
+	if m.Load(0x12345678) != 0 {
+		t.Error("unmapped memory must read 0")
+	}
+	m.Store(0x1000, 42)
+	m.Store(0x1008, -7)
+	if m.Load(0x1000) != 42 || m.Load(0x1008) != -7 {
+		t.Error("store/load round trip failed")
+	}
+	// Unaligned access rounds down to the containing word.
+	if m.Load(0x1003) != 42 {
+		t.Error("unaligned load must read containing word")
+	}
+	if m.Pages() != 1 {
+		t.Errorf("pages = %d, want 1", m.Pages())
+	}
+}
+
+func TestMemoryPropertyRoundTrip(t *testing.T) {
+	m := NewMemory()
+	f := func(addr uint64, v int64) bool {
+		addr &= 0xFFFF_FFFF
+		m.Store(addr, v)
+		return m.Load(addr) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func buildSumLoop(t *testing.T, n int64) *prog.Program {
+	t.Helper()
+	// sum = 0; for i = n; i != 0; i-- { sum += i }; store sum
+	b := prog.NewBuilder("sum")
+	b.Proc("main").Entry().
+		Li(isa.R(1), n).       // i
+		Li(isa.R(2), 0).       // sum
+		Li(isa.R(3), 0x10000). // data base
+		Label("loop").
+		Add(isa.R(2), isa.R(2), isa.R(1)).
+		Addi(isa.R(1), isa.R(1), -1).
+		Bne(isa.R(1), isa.RZero, "loop").
+		St(isa.R(2), isa.R(3), 0).
+		Halt()
+	return b.MustBuild()
+}
+
+func TestSumLoopExecution(t *testing.T) {
+	p := buildSumLoop(t, 10)
+	e := MustNew(p)
+	var last trace.DynInst
+	steps := 0
+	for {
+		d, ok := e.Next()
+		if !ok {
+			break
+		}
+		last = d
+		steps++
+		if steps > 1000 {
+			t.Fatal("runaway loop")
+		}
+	}
+	if got := e.Mem().Load(0x10000); got != 55 {
+		t.Errorf("sum = %d, want 55", got)
+	}
+	if last.Op != isa.Halt {
+		t.Errorf("last op = %v, want halt", last.Op)
+	}
+	// 3 setup + 10*3 loop + 1 store + 1 halt = 35
+	if steps != 35 {
+		t.Errorf("steps = %d, want 35", steps)
+	}
+}
+
+func TestBranchOutcomesInTrace(t *testing.T) {
+	p := buildSumLoop(t, 3)
+	tr, err := Run(p, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var branches []trace.DynInst
+	for _, d := range tr {
+		if d.Op == isa.Bne {
+			branches = append(branches, d)
+		}
+	}
+	if len(branches) != 3 {
+		t.Fatalf("branch count = %d, want 3", len(branches))
+	}
+	if !branches[0].Taken || !branches[1].Taken || branches[2].Taken {
+		t.Errorf("branch outcomes = %v,%v,%v want taken,taken,not",
+			branches[0].Taken, branches[1].Taken, branches[2].Taken)
+	}
+	// Taken branch's NextPC must equal the loop header PC.
+	loopPC := p.Procs[0].Blocks[1].Insts[0].PC
+	if branches[0].NextPC != loopPC {
+		t.Errorf("taken NextPC = %d, want %d", branches[0].NextPC, loopPC)
+	}
+	if branches[0].Redirects() != true {
+		t.Error("taken backward branch must redirect")
+	}
+}
+
+func TestCallReturnStack(t *testing.T) {
+	b := prog.NewBuilder("calls")
+	b.Proc("main").Entry().
+		Li(isa.R(1), 5).
+		Call("double").
+		Call("double").
+		St(isa.R(1), isa.R(2), 0). // r2=0 -> addr 0
+		Halt()
+	b.Proc("double").
+		Add(isa.R(1), isa.R(1), isa.R(1)).
+		Ret()
+	p := b.MustBuild()
+	e := MustNew(p)
+	for {
+		if _, ok := e.Next(); !ok {
+			break
+		}
+	}
+	if got := e.IntReg(1); got != 20 {
+		t.Errorf("r1 = %d, want 20", got)
+	}
+	if got := e.Mem().Load(0); got != 20 {
+		t.Errorf("mem[0] = %d, want 20", got)
+	}
+}
+
+func TestDataSegmentLoaded(t *testing.T) {
+	b := prog.NewBuilder("data")
+	addr := b.AppendData(111, 222)
+	b.Proc("main").Entry().
+		Li(isa.R(1), int64(addr)).
+		Ld(isa.R(2), isa.R(1), 8).
+		Halt()
+	p := b.MustBuild()
+	e := MustNew(p)
+	for {
+		if _, ok := e.Next(); !ok {
+			break
+		}
+	}
+	if got := e.IntReg(2); got != 222 {
+		t.Errorf("r2 = %d, want 222", got)
+	}
+}
+
+func TestZeroRegisterImmutable(t *testing.T) {
+	b := prog.NewBuilder("zero")
+	b.Proc("main").Entry().
+		Li(isa.RZero, 99).
+		Addi(isa.R(1), isa.RZero, 7).
+		Halt()
+	p := b.MustBuild()
+	e := MustNew(p)
+	for {
+		if _, ok := e.Next(); !ok {
+			break
+		}
+	}
+	if e.IntReg(0) != 0 {
+		t.Error("r0 was modified")
+	}
+	if e.IntReg(1) != 7 {
+		t.Errorf("r1 = %d, want 7", e.IntReg(1))
+	}
+}
+
+func TestDivByZeroAndOverflow(t *testing.T) {
+	b := prog.NewBuilder("div")
+	b.Proc("main").Entry().
+		Li(isa.R(1), 10).
+		Li(isa.R(2), 0).
+		Div(isa.R(3), isa.R(1), isa.R(2)).
+		Rem(isa.R(4), isa.R(1), isa.R(2)).
+		Li(isa.R(5), -9223372036854775808).
+		Li(isa.R(6), -1).
+		Div(isa.R(7), isa.R(5), isa.R(6)).
+		Rem(isa.R(8), isa.R(5), isa.R(6)).
+		Halt()
+	p := b.MustBuild()
+	e := MustNew(p)
+	for {
+		if _, ok := e.Next(); !ok {
+			break
+		}
+	}
+	if e.IntReg(3) != 0 || e.IntReg(4) != 0 {
+		t.Errorf("div/rem by zero = %d,%d want 0,0", e.IntReg(3), e.IntReg(4))
+	}
+	if e.IntReg(7) != -9223372036854775808 || e.IntReg(8) != 0 {
+		t.Errorf("overflow div/rem = %d,%d", e.IntReg(7), e.IntReg(8))
+	}
+}
+
+func TestRestartMode(t *testing.T) {
+	p := buildSumLoop(t, 2)
+	e := MustNew(p)
+	e.Restart = true
+	count := 0
+	for count < 100 {
+		_, ok := e.Next()
+		if !ok {
+			t.Fatal("restarting emulator must not halt")
+		}
+		count++
+	}
+	if e.Halted() {
+		t.Error("restarting emulator reports halted")
+	}
+}
+
+func TestHintsAppearInTrace(t *testing.T) {
+	b := prog.NewBuilder("hints")
+	b.Proc("main").Entry().
+		Hint(12).
+		Li(isa.R(1), 1).
+		Halt()
+	p := b.MustBuild()
+	tr, err := Run(p, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr[0].Op != isa.HintNop || tr[0].Hint != 12 {
+		t.Errorf("hint record = %+v", tr[0])
+	}
+	if !tr[0].IsHintCarrier() {
+		t.Error("hint record must be a hint carrier")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	p := buildSumLoop(t, 50)
+	t1, _ := Run(p, 500)
+	t2, _ := Run(p, 500)
+	if len(t1) != len(t2) {
+		t.Fatalf("lengths differ: %d vs %d", len(t1), len(t2))
+	}
+	for i := range t1 {
+		if t1[i] != t2[i] {
+			t.Fatalf("trace diverges at %d: %+v vs %+v", i, t1[i], t2[i])
+		}
+	}
+}
+
+func TestFloatingPoint(t *testing.T) {
+	b := prog.NewBuilder("fp")
+	b.Proc("main").Entry().
+		Li(isa.R(1), 6).
+		ItoF(isa.FP(0), isa.R(1)).
+		FMul(isa.FP(1), isa.FP(0), isa.FP(0)).
+		FtoI(isa.R(2), isa.FP(1)).
+		Halt()
+	p := b.MustBuild()
+	e := MustNew(p)
+	for {
+		if _, ok := e.Next(); !ok {
+			break
+		}
+	}
+	if e.IntReg(2) != 36 {
+		t.Errorf("fp square = %d, want 36", e.IntReg(2))
+	}
+}
+
+func TestStreamLimit(t *testing.T) {
+	p := buildSumLoop(t, 100)
+	e := MustNew(p)
+	lim := &trace.Limit{S: e, N: 7}
+	n := 0
+	for {
+		_, ok := lim.Next()
+		if !ok {
+			break
+		}
+		n++
+	}
+	if n != 7 {
+		t.Errorf("limit yielded %d, want 7", n)
+	}
+}

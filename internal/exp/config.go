@@ -1,0 +1,49 @@
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/sim"
+)
+
+// LoadConfig reads a simulator configuration from JSON. Fields left out
+// of the document keep the paper's table-1 defaults, so a config file
+// needs to state only what it changes, e.g.:
+//
+//	{"IQ": {"Entries": 64, "BankSize": 8}, "ROBSize": 96}
+func LoadConfig(r io.Reader) (sim.Config, error) {
+	cfg := sim.DefaultConfig()
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&cfg); err != nil {
+		return sim.Config{}, fmt.Errorf("config: %w", err)
+	}
+	if err := validateConfig(&cfg); err != nil {
+		return sim.Config{}, err
+	}
+	return cfg, nil
+}
+
+// WriteConfig emits a configuration as indented JSON (the template a
+// user edits).
+func WriteConfig(w io.Writer, cfg sim.Config) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(cfg)
+}
+
+func validateConfig(cfg *sim.Config) error {
+	switch {
+	case cfg.FetchWidth < 1 || cfg.DispatchWidth < 1 || cfg.IssueWidth < 1 || cfg.CommitWidth < 1:
+		return fmt.Errorf("config: widths must be positive")
+	case cfg.ROBSize < 1:
+		return fmt.Errorf("config: ROB size must be positive")
+	case cfg.IQ.Entries < 1 || cfg.IQ.BankSize < 1 || cfg.IQ.Entries%cfg.IQ.BankSize != 0:
+		return fmt.Errorf("config: issue queue must be a positive multiple of its bank size")
+	case cfg.IntRF.Regs < cfg.IntRF.ArchRegs:
+		return fmt.Errorf("config: physical registers must cover architectural registers")
+	}
+	return nil
+}

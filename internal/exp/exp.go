@@ -1,0 +1,281 @@
+// Package exp is the experiment harness: it prepares each benchmark under
+// each technique, runs the timing simulator, applies the power model, and
+// regenerates every table and figure of the paper's evaluation (section
+// 5). See DESIGN.md section 4 for the experiment index.
+package exp
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/power"
+	"repro/internal/prog"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Technique identifies one experimental configuration.
+type Technique int
+
+// Techniques, in the paper's naming.
+const (
+	// TechBaseline: uncontrolled 80-entry queue (the reference).
+	TechBaseline Technique = iota
+	// TechNOOP: compiler hints via special NOOPs (section 5.2).
+	TechNOOP
+	// TechExtension: compiler hints via instruction tags (section 5.3).
+	TechExtension
+	// TechImproved: tags plus inter-procedural FU contention analysis.
+	TechImproved
+	// TechAbella: hardware-adaptive IqRob64 (Abella & González).
+	TechAbella
+	numTechniques
+)
+
+// String returns the paper's name for the technique.
+func (t Technique) String() string {
+	switch t {
+	case TechBaseline:
+		return "baseline"
+	case TechNOOP:
+		return "NOOP"
+	case TechExtension:
+		return "Extension"
+	case TechImproved:
+		return "Improved"
+	case TechAbella:
+		return "abella"
+	default:
+		return fmt.Sprintf("tech?%d", int(t))
+	}
+}
+
+// AllTechniques lists every technique including the baseline.
+func AllTechniques() []Technique {
+	return []Technique{TechBaseline, TechNOOP, TechExtension, TechImproved, TechAbella}
+}
+
+// RunResult is one (benchmark, technique) run.
+type RunResult struct {
+	Bench     string
+	Tech      Technique
+	Stats     sim.Stats
+	CompileMS float64 // instrumentation/analysis wall time
+	GenMS     float64 // program generation+link wall time ("baseline" compile)
+	Hints     int     // static hints materialised
+}
+
+// Runner executes the evaluation.
+type Runner struct {
+	Budget   int64 // committed real instructions per run
+	Seed     int64
+	Params   power.Params
+	Config   sim.Config // base configuration; technique fields overridden
+	Parallel int        // worker count; 0 = GOMAXPROCS
+}
+
+// NewRunner returns a runner with the paper's configuration.
+func NewRunner(budget int64) *Runner {
+	return &Runner{
+		Budget: budget,
+		Seed:   42,
+		Params: power.DefaultParams(),
+		Config: sim.DefaultConfig(),
+	}
+}
+
+// prepare builds and instruments the benchmark program for a technique.
+func (r *Runner) prepare(b workload.Benchmark, tech Technique) (*prog.Program, RunResult, error) {
+	res := RunResult{Bench: b.Name, Tech: tech}
+	t0 := time.Now()
+	p := b.Build(r.Seed)
+	res.GenMS = float64(time.Since(t0).Microseconds()) / 1000
+
+	opt := core.Options{}
+	switch tech {
+	case TechNOOP:
+		opt.Mode = core.ModeNOOP
+	case TechExtension:
+		opt.Mode = core.ModeTag
+	case TechImproved:
+		opt.Mode = core.ModeTag
+		opt.Improved = true
+	default:
+		return p, res, nil
+	}
+	t1 := time.Now()
+	rep, err := core.Instrument(p, opt)
+	if err != nil {
+		return nil, res, fmt.Errorf("%s/%s: %w", b.Name, tech, err)
+	}
+	res.CompileMS = float64(time.Since(t1).Microseconds()) / 1000
+	res.Hints = rep.HintsInserted + rep.TagsApplied
+	return p, res, nil
+}
+
+// simConfig derives the simulator configuration for a technique.
+func (r *Runner) simConfig(tech Technique) sim.Config {
+	cfg := r.Config
+	switch tech {
+	case TechNOOP, TechExtension, TechImproved:
+		cfg.Control = sim.ControlHints
+	case TechAbella:
+		cfg.Control = sim.ControlAdaptive
+	default:
+		cfg.Control = sim.ControlNone
+	}
+	return cfg
+}
+
+// Run executes one benchmark under one technique.
+func (r *Runner) Run(b workload.Benchmark, tech Technique) (RunResult, error) {
+	p, res, err := r.prepare(b, tech)
+	if err != nil {
+		return res, err
+	}
+	st, err := sim.RunProgram(r.simConfig(tech), p, r.Budget)
+	if err != nil {
+		return res, fmt.Errorf("%s/%s: %w", b.Name, tech, err)
+	}
+	res.Stats = st
+	return res, nil
+}
+
+// SuiteResults holds every run of the evaluation, indexed by benchmark
+// name and technique.
+type SuiteResults struct {
+	Benchmarks []string
+	Results    map[string]map[Technique]RunResult
+	Params     power.Params
+	IQBanks    int
+	RFBanks    int
+}
+
+// RunSuite runs all benchmarks under the given techniques in parallel.
+func (r *Runner) RunSuite(techs []Technique) (*SuiteResults, error) {
+	benches := workload.Suite()
+	out := &SuiteResults{
+		Results: map[string]map[Technique]RunResult{},
+		Params:  r.Params,
+		IQBanks: r.Config.IQ.Entries / r.Config.IQ.BankSize,
+		RFBanks: r.Config.IntRF.Regs / r.Config.IntRF.BankSize,
+	}
+	for _, b := range benches {
+		out.Benchmarks = append(out.Benchmarks, b.Name)
+		out.Results[b.Name] = map[Technique]RunResult{}
+	}
+
+	type job struct {
+		b    workload.Benchmark
+		tech Technique
+	}
+	var jobs []job
+	for _, b := range benches {
+		for _, t := range techs {
+			jobs = append(jobs, job{b, t})
+		}
+	}
+	workers := r.Parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	var (
+		mu       sync.Mutex
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	ch := make(chan job)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range ch {
+				res, err := r.Run(j.b, j.tech)
+				mu.Lock()
+				if err != nil && firstErr == nil {
+					firstErr = err
+				}
+				out.Results[j.b.Name][j.tech] = res
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, j := range jobs {
+		ch <- j
+	}
+	close(ch)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// --- derived metrics ---
+
+// IPCLossPct returns the IPC loss of tech vs baseline for one benchmark.
+func (s *SuiteResults) IPCLossPct(bench string, tech Technique) float64 {
+	base := s.Results[bench][TechBaseline].Stats
+	t := s.Results[bench][tech].Stats
+	if base.IPC() == 0 {
+		return 0
+	}
+	return (1 - t.IPC()/base.IPC()) * 100
+}
+
+// OccupancyReductionPct returns the IQ occupancy reduction vs baseline.
+func (s *SuiteResults) OccupancyReductionPct(bench string, tech Technique) float64 {
+	base := s.Results[bench][TechBaseline].Stats
+	t := s.Results[bench][tech].Stats
+	if base.AvgIQOccupancy() == 0 {
+		return 0
+	}
+	return (1 - t.AvgIQOccupancy()/base.AvgIQOccupancy()) * 100
+}
+
+// BanksOffPct returns the fraction of IQ banks gated off under tech.
+func (s *SuiteResults) BanksOffPct(bench string, tech Technique) float64 {
+	t := s.Results[bench][tech].Stats
+	return (1 - t.AvgIQBanksOn()/float64(s.IQBanks)) * 100
+}
+
+// Savings returns the power savings of tech vs the baseline run.
+func (s *SuiteResults) Savings(bench string, tech Technique) power.Savings {
+	base := s.Results[bench][TechBaseline].Stats
+	t := s.Results[bench][tech].Stats
+	return s.Params.Compute(&base, &t, s.IQBanks, s.RFBanks)
+}
+
+// NonEmptyPct returns the paper's nonEmpty accounting bar for a benchmark.
+func (s *SuiteResults) NonEmptyPct(bench string) float64 {
+	base := s.Results[bench][TechBaseline].Stats
+	return s.Params.NonEmptySavings(&base)
+}
+
+// Mean returns the arithmetic mean of f over all benchmarks (the paper's
+// SPECINT bar).
+func (s *SuiteResults) Mean(f func(bench string) float64) float64 {
+	xs := make([]float64, 0, len(s.Benchmarks))
+	for _, b := range s.Benchmarks {
+		xs = append(xs, f(b))
+	}
+	return stats.Mean(xs)
+}
+
+// Spread returns the min, max and standard deviation of f across the
+// suite — the per-benchmark variation the paper's bar charts show.
+func (s *SuiteResults) Spread(f func(bench string) float64) (min, max, stddev float64) {
+	xs := make([]float64, 0, len(s.Benchmarks))
+	for _, b := range s.Benchmarks {
+		xs = append(xs, f(b))
+	}
+	min, max = stats.MinMax(xs)
+	return min, max, stats.StdDev(xs)
+}

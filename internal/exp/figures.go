@@ -1,0 +1,318 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// PaperValues records the paper's reported averages for side-by-side
+// comparison in the rendered output and in EXPERIMENTS.md.
+var PaperValues = struct {
+	NOOPIPCLoss, AbellaIPCLoss                 float64
+	ExtensionIPCLoss, ImprovedIPCLoss          float64
+	OccupancyReduction                         float64
+	BanksOff, AbellaBanksOff                   float64
+	NOOPIQDyn, NOOPIQStatic                    float64
+	AbellaIQDyn, AbellaIQStatic                float64
+	ExtIQDyn, ExtIQStatic                      float64
+	NOOPRFDyn, NOOPRFStatic                    float64
+	AbellaRFDyn, AbellaRFStatic                float64
+	ExtRFDyn, ExtRFStatic, ImpRFDyn, ImpRFStat float64
+	OverallDyn                                 float64
+}{
+	NOOPIPCLoss: 2.2, AbellaIPCLoss: 3.1,
+	ExtensionIPCLoss: 1.7, ImprovedIPCLoss: 1.3,
+	OccupancyReduction: 23,
+	BanksOff:           37, AbellaBanksOff: 34,
+	NOOPIQDyn: 47, NOOPIQStatic: 31,
+	AbellaIQDyn: 39, AbellaIQStatic: 30,
+	ExtIQDyn: 45, ExtIQStatic: 30,
+	NOOPRFDyn: 22, NOOPRFStatic: 21,
+	AbellaRFDyn: 14, AbellaRFStatic: 17,
+	ExtRFDyn: 21, ExtRFStatic: 21, ImpRFDyn: 22, ImpRFStat: 20,
+	OverallDyn: 11,
+}
+
+// Table1 renders the processor configuration (paper table 1).
+func Table1(cfg sim.Config) string {
+	t := newTable("Table 1: processor configuration", "Parameter", "Configuration")
+	t.addRow("Fetch, decode and commit width", fmt.Sprintf("%d instructions", cfg.FetchWidth))
+	t.addRow("Branch predictor", "Hybrid 2K gshare, 2K bimodal, 1K selector")
+	t.addRow("BTB", fmt.Sprintf("%d entries, %d-way", cfg.Bpred.BTBEntries, cfg.Bpred.BTBAssoc))
+	t.addRow("L1 Icache", "64KB, 2-way, 32B line, 1 cycle hit")
+	t.addRow("L1 Dcache", "64KB, 4-way, 32B line, 2 cycles hit")
+	t.addRow("Unified L2 cache", "512KB, 8-way, 64B line, 10 cycles hit, 50 cycles miss")
+	t.addRow("ROB size", fmt.Sprintf("%d entries", cfg.ROBSize))
+	t.addRow("Issue queue", fmt.Sprintf("%d entries (%d banks of %d)",
+		cfg.IQ.Entries, cfg.IQ.Entries/cfg.IQ.BankSize, cfg.IQ.BankSize))
+	t.addRow("Int register file", fmt.Sprintf("%d entries (%d banks of %d)",
+		cfg.IntRF.Regs, cfg.IntRF.Regs/cfg.IntRF.BankSize, cfg.IntRF.BankSize))
+	t.addRow("FP register file", fmt.Sprintf("%d entries (%d banks of %d)",
+		cfg.FPRF.Regs, cfg.FPRF.Regs/cfg.FPRF.BankSize, cfg.FPRF.BankSize))
+	t.addRow("Int FUs", fmt.Sprintf("%d ALU (1 cycle), %d Mul (3 cycles)", cfg.FU.IntALU, cfg.FU.IntMul))
+	t.addRow("FP FUs", fmt.Sprintf("%d ALU (2 cycles), %d MultDiv (4/12 cycles)", cfg.FU.FPALU, cfg.FU.FPMulDiv))
+	t.addRow("Memory ports", fmt.Sprintf("%d", cfg.MemPorts))
+	return t.String()
+}
+
+// Table2 measures compilation time per benchmark: program generation
+// ("Baseline") versus generation plus the full analysis and
+// instrumentation ("Limited"), mirroring the paper's table 2 (where SUIF
+// took minutes; our pass takes milliseconds — the ordering across
+// benchmarks is the comparable shape).
+func Table2(seed int64) string {
+	t := newTable("Table 2: compilation times (ms)", "Benchmark", "Baseline", "Limited", "Ratio")
+	for _, b := range workload.Suite() {
+		t0 := time.Now()
+		p := b.Build(seed)
+		genMS := float64(time.Since(t0).Microseconds()) / 1000
+		t1 := time.Now()
+		if _, err := core.Instrument(p, core.Options{Mode: core.ModeNOOP}); err != nil {
+			t.addRow(b.Name, "error", err.Error(), "")
+			continue
+		}
+		anaMS := float64(time.Since(t1).Microseconds()) / 1000
+		ratio := 0.0
+		if genMS > 0 {
+			ratio = (genMS + anaMS) / genMS
+		}
+		t.addRow(b.Name, f2(genMS), f2(genMS+anaMS), f1(ratio))
+	}
+	t.addNote("Paper: SUIF-based pass, minutes on a Pentium 4 (gcc slowest at 186 min).")
+	t.addNote("Here: Go analysis pass on synthetic programs; compare relative ordering.")
+	return t.String()
+}
+
+// Figure6 renders the per-benchmark IPC loss of the NOOP technique, with
+// the abella baseline and the SPECINT mean (paper figure 6).
+func figure6Table(s *SuiteResults) *table {
+	t := newTable("Figure 6: normalised IPC loss, NOOP technique (%)",
+		"Benchmark", "NOOP", "abella")
+	for _, b := range s.Benchmarks {
+		t.addRow(b, f2(s.IPCLossPct(b, TechNOOP)), f2(s.IPCLossPct(b, TechAbella)))
+	}
+	t.addRow("SPECINT",
+		f2(s.Mean(func(b string) float64 { return s.IPCLossPct(b, TechNOOP) })),
+		f2(s.Mean(func(b string) float64 { return s.IPCLossPct(b, TechAbella) })))
+	t.addNote("Paper SPECINT: NOOP %.1f%%, abella %.1f%%.", PaperValues.NOOPIPCLoss, PaperValues.AbellaIPCLoss)
+	return t
+}
+
+// Figure7 renders the IQ occupancy reduction of the NOOP technique
+// (paper figure 7), plus the banks-off fractions of section 5.2.2.
+func figure7Table(s *SuiteResults) *table {
+	t := newTable("Figure 7: normalised IQ occupancy reduction, NOOP technique (%)",
+		"Benchmark", "OccRed", "BanksOff", "abellaBanksOff")
+	for _, b := range s.Benchmarks {
+		t.addRow(b, f1(s.OccupancyReductionPct(b, TechNOOP)),
+			f1(s.BanksOffPct(b, TechNOOP)), f1(s.BanksOffPct(b, TechAbella)))
+	}
+	t.addRow("SPECINT",
+		f1(s.Mean(func(b string) float64 { return s.OccupancyReductionPct(b, TechNOOP) })),
+		f1(s.Mean(func(b string) float64 { return s.BanksOffPct(b, TechNOOP) })),
+		f1(s.Mean(func(b string) float64 { return s.BanksOffPct(b, TechAbella) })))
+	t.addNote("Paper: occupancy reduction %.0f%%, banks off %.0f%% (abella %.0f%%).",
+		PaperValues.OccupancyReduction, PaperValues.BanksOff, PaperValues.AbellaBanksOff)
+	return t
+}
+
+// Figure8 renders the IQ dynamic and static power savings of the NOOP
+// technique, with the nonEmpty and abella bars (paper figure 8).
+func figure8Table(s *SuiteResults) *table {
+	t := newTable("Figure 8: normalised IQ power savings, NOOP technique (%)",
+		"Benchmark", "Dynamic", "Static")
+	for _, b := range s.Benchmarks {
+		sv := s.Savings(b, TechNOOP)
+		t.addRow(b, f1(sv.IQDynamicPct), f1(sv.IQStaticPct))
+	}
+	t.addRow("SPECINT",
+		f1(s.Mean(func(b string) float64 { return s.Savings(b, TechNOOP).IQDynamicPct })),
+		f1(s.Mean(func(b string) float64 { return s.Savings(b, TechNOOP).IQStaticPct })))
+	t.addRow("abella",
+		f1(s.Mean(func(b string) float64 { return s.Savings(b, TechAbella).IQDynamicPct })),
+		f1(s.Mean(func(b string) float64 { return s.Savings(b, TechAbella).IQStaticPct })))
+	t.addRow("nonEmpty", f1(s.Mean(s.NonEmptyPct)), "-")
+	t.addNote("Paper SPECINT: dynamic %.0f%%, static %.0f%%; abella %.0f%%/%.0f%%.",
+		PaperValues.NOOPIQDyn, PaperValues.NOOPIQStatic,
+		PaperValues.AbellaIQDyn, PaperValues.AbellaIQStatic)
+	return t
+}
+
+// Figure9 renders the integer register file power savings of the NOOP
+// technique with the abella bar (paper figure 9).
+func figure9Table(s *SuiteResults) *table {
+	t := newTable("Figure 9: normalised int regfile power savings, NOOP technique (%)",
+		"Benchmark", "Dynamic", "Static")
+	for _, b := range s.Benchmarks {
+		sv := s.Savings(b, TechNOOP)
+		t.addRow(b, f1(sv.RFDynamicPct), f1(sv.RFStaticPct))
+	}
+	t.addRow("SPECINT",
+		f1(s.Mean(func(b string) float64 { return s.Savings(b, TechNOOP).RFDynamicPct })),
+		f1(s.Mean(func(b string) float64 { return s.Savings(b, TechNOOP).RFStaticPct })))
+	t.addRow("abella",
+		f1(s.Mean(func(b string) float64 { return s.Savings(b, TechAbella).RFDynamicPct })),
+		f1(s.Mean(func(b string) float64 { return s.Savings(b, TechAbella).RFStaticPct })))
+	t.addNote("Paper SPECINT: dynamic %.0f%%, static %.0f%%; abella %.0f%%/%.0f%%.",
+		PaperValues.NOOPRFDyn, PaperValues.NOOPRFStatic,
+		PaperValues.AbellaRFDyn, PaperValues.AbellaRFStatic)
+	return t
+}
+
+// Figure10 renders the IPC loss of Extension and Improved with NOOP and
+// abella for comparison (paper figure 10).
+func figure10Table(s *SuiteResults) *table {
+	t := newTable("Figure 10: normalised IPC loss, Extension and Improved (%)",
+		"Benchmark", "Extension", "Improved", "NOOP", "abella")
+	for _, b := range s.Benchmarks {
+		t.addRow(b,
+			f2(s.IPCLossPct(b, TechExtension)), f2(s.IPCLossPct(b, TechImproved)),
+			f2(s.IPCLossPct(b, TechNOOP)), f2(s.IPCLossPct(b, TechAbella)))
+	}
+	mean := func(tech Technique) string {
+		return f2(s.Mean(func(b string) float64 { return s.IPCLossPct(b, tech) }))
+	}
+	t.addRow("SPECINT", mean(TechExtension), mean(TechImproved), mean(TechNOOP), mean(TechAbella))
+	t.addNote("Paper SPECINT: Extension %.1f%%, Improved <%.1f%%.",
+		PaperValues.ExtensionIPCLoss, PaperValues.ImprovedIPCLoss)
+	return t
+}
+
+// Figure11 renders the IQ power savings of Extension and Improved
+// (paper figure 11), plus the section 6 overall-processor saving.
+func figure11Table(s *SuiteResults) *table {
+	t := newTable("Figure 11: normalised IQ power savings, Extension and Improved (%)",
+		"Benchmark", "ExtDyn", "ExtStat", "ImpDyn", "ImpStat")
+	for _, b := range s.Benchmarks {
+		e := s.Savings(b, TechExtension)
+		i := s.Savings(b, TechImproved)
+		t.addRow(b, f1(e.IQDynamicPct), f1(e.IQStaticPct), f1(i.IQDynamicPct), f1(i.IQStaticPct))
+	}
+	t.addRow("SPECINT",
+		f1(s.Mean(func(b string) float64 { return s.Savings(b, TechExtension).IQDynamicPct })),
+		f1(s.Mean(func(b string) float64 { return s.Savings(b, TechExtension).IQStaticPct })),
+		f1(s.Mean(func(b string) float64 { return s.Savings(b, TechImproved).IQDynamicPct })),
+		f1(s.Mean(func(b string) float64 { return s.Savings(b, TechImproved).IQStaticPct })))
+	overall := s.Mean(func(b string) float64 { return s.Savings(b, TechImproved).OverallDynamicPct })
+	t.addNote("Paper SPECINT: dynamic %.0f%%, static %.0f%% (both techniques).",
+		PaperValues.ExtIQDyn, PaperValues.ExtIQStatic)
+	t.addNote("Overall processor dynamic saving (Improved, section 6 shares): %.1f%% (paper ~%.0f%%).",
+		overall, PaperValues.OverallDyn)
+	return t
+}
+
+// Figure12 renders the regfile power savings of Extension and Improved
+// (paper figure 12).
+func figure12Table(s *SuiteResults) *table {
+	t := newTable("Figure 12: normalised int regfile power savings, Extension and Improved (%)",
+		"Benchmark", "ExtDyn", "ExtStat", "ImpDyn", "ImpStat")
+	for _, b := range s.Benchmarks {
+		e := s.Savings(b, TechExtension)
+		i := s.Savings(b, TechImproved)
+		t.addRow(b, f1(e.RFDynamicPct), f1(e.RFStaticPct), f1(i.RFDynamicPct), f1(i.RFStaticPct))
+	}
+	t.addRow("SPECINT",
+		f1(s.Mean(func(b string) float64 { return s.Savings(b, TechExtension).RFDynamicPct })),
+		f1(s.Mean(func(b string) float64 { return s.Savings(b, TechExtension).RFStaticPct })),
+		f1(s.Mean(func(b string) float64 { return s.Savings(b, TechImproved).RFDynamicPct })),
+		f1(s.Mean(func(b string) float64 { return s.Savings(b, TechImproved).RFStaticPct })))
+	t.addNote("Paper SPECINT: Extension %.0f%%/%.0f%%, Improved %.0f%%/%.0f%%.",
+		PaperValues.ExtRFDyn, PaperValues.ExtRFStatic, PaperValues.ImpRFDyn, PaperValues.ImpRFStat)
+	return t
+}
+
+// Summary renders a one-screen overview of every headline number against
+// the paper.
+func summaryTable(s *SuiteResults) *table {
+	t := newTable("Headline comparison: paper vs measured (SPECINT means)",
+		"Metric", "Paper", "Measured")
+	add := func(name string, paper float64, measured float64) {
+		t.addRow(name, f1(paper), f1(measured))
+	}
+	add("NOOP IPC loss %", PaperValues.NOOPIPCLoss,
+		s.Mean(func(b string) float64 { return s.IPCLossPct(b, TechNOOP) }))
+	add("abella IPC loss %", PaperValues.AbellaIPCLoss,
+		s.Mean(func(b string) float64 { return s.IPCLossPct(b, TechAbella) }))
+	add("Extension IPC loss %", PaperValues.ExtensionIPCLoss,
+		s.Mean(func(b string) float64 { return s.IPCLossPct(b, TechExtension) }))
+	add("Improved IPC loss %", PaperValues.ImprovedIPCLoss,
+		s.Mean(func(b string) float64 { return s.IPCLossPct(b, TechImproved) }))
+	add("IQ occupancy reduction %", PaperValues.OccupancyReduction,
+		s.Mean(func(b string) float64 { return s.OccupancyReductionPct(b, TechNOOP) }))
+	add("IQ banks off %", PaperValues.BanksOff,
+		s.Mean(func(b string) float64 { return s.BanksOffPct(b, TechNOOP) }))
+	add("NOOP IQ dynamic saving %", PaperValues.NOOPIQDyn,
+		s.Mean(func(b string) float64 { return s.Savings(b, TechNOOP).IQDynamicPct }))
+	add("NOOP IQ static saving %", PaperValues.NOOPIQStatic,
+		s.Mean(func(b string) float64 { return s.Savings(b, TechNOOP).IQStaticPct }))
+	add("abella IQ dynamic saving %", PaperValues.AbellaIQDyn,
+		s.Mean(func(b string) float64 { return s.Savings(b, TechAbella).IQDynamicPct }))
+	add("NOOP RF dynamic saving %", PaperValues.NOOPRFDyn,
+		s.Mean(func(b string) float64 { return s.Savings(b, TechNOOP).RFDynamicPct }))
+	add("NOOP RF static saving %", PaperValues.NOOPRFStatic,
+		s.Mean(func(b string) float64 { return s.Savings(b, TechNOOP).RFStaticPct }))
+	return t
+}
+
+// AllFigures renders the complete evaluation.
+func AllFigures(s *SuiteResults, cfg sim.Config, seed int64) string {
+	var sb strings.Builder
+	sb.WriteString(Table1(cfg) + "\n")
+	sb.WriteString(Table2(seed) + "\n")
+	sb.WriteString(Figure6(s) + "\n")
+	sb.WriteString(Figure7(s) + "\n")
+	sb.WriteString(Figure8(s) + "\n")
+	sb.WriteString(Figure9(s) + "\n")
+	sb.WriteString(Figure10(s) + "\n")
+	sb.WriteString(Figure11(s) + "\n")
+	sb.WriteString(Figure12(s) + "\n")
+	sb.WriteString(Summary(s))
+	return sb.String()
+}
+
+// Rendered and CSV forms of each figure.
+
+func Figure6(s *SuiteResults) string { return figure6Table(s).String() }
+
+// Figure6CSV renders the same data as comma-separated values.
+func Figure6CSV(s *SuiteResults) string { return figure6Table(s).CSV() }
+
+func Figure7(s *SuiteResults) string { return figure7Table(s).String() }
+
+// Figure7CSV renders the same data as comma-separated values.
+func Figure7CSV(s *SuiteResults) string { return figure7Table(s).CSV() }
+
+func Figure8(s *SuiteResults) string { return figure8Table(s).String() }
+
+// Figure8CSV renders the same data as comma-separated values.
+func Figure8CSV(s *SuiteResults) string { return figure8Table(s).CSV() }
+
+func Figure9(s *SuiteResults) string { return figure9Table(s).String() }
+
+// Figure9CSV renders the same data as comma-separated values.
+func Figure9CSV(s *SuiteResults) string { return figure9Table(s).CSV() }
+
+func Figure10(s *SuiteResults) string { return figure10Table(s).String() }
+
+// Figure10CSV renders the same data as comma-separated values.
+func Figure10CSV(s *SuiteResults) string { return figure10Table(s).CSV() }
+
+func Figure11(s *SuiteResults) string { return figure11Table(s).String() }
+
+// Figure11CSV renders the same data as comma-separated values.
+func Figure11CSV(s *SuiteResults) string { return figure11Table(s).CSV() }
+
+func Figure12(s *SuiteResults) string { return figure12Table(s).String() }
+
+// Figure12CSV renders the same data as comma-separated values.
+func Figure12CSV(s *SuiteResults) string { return figure12Table(s).CSV() }
+
+func Summary(s *SuiteResults) string { return summaryTable(s).String() }
+
+// SummaryCSV renders the same data as comma-separated values.
+func SummaryCSV(s *SuiteResults) string { return summaryTable(s).CSV() }

@@ -1,0 +1,88 @@
+package iq
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestCollapsibleIgnoresHoles: in the collapsible ablation model, issuing
+// a middle entry frees capacity immediately (no span limit).
+func TestCollapsibleIgnoresHoles(t *testing.T) {
+	q := MustNew(Config{Entries: 8, BankSize: 4, Collapsible: true})
+	var positions []int64
+	for i := int64(0); i < 8; i++ {
+		p, ok := q.Dispatch(i, [2]int{-1, -1}, [2]bool{false, false})
+		if !ok {
+			t.Fatalf("dispatch %d failed", i)
+		}
+		positions = append(positions, p)
+	}
+	if q.CanDispatch() {
+		t.Fatal("8 valid entries must fill an 8-entry queue")
+	}
+	// Issue a MIDDLE entry: a non-collapsible queue would still be
+	// span-blocked; the collapsible one must accept a dispatch.
+	q.Issue(positions[3])
+	if !q.CanDispatch() {
+		t.Fatal("collapsible queue must reuse the hole's capacity")
+	}
+	if _, ok := q.Dispatch(8, [2]int{-1, -1}, [2]bool{false, false}); !ok {
+		t.Fatal("dispatch into freed capacity failed")
+	}
+	if err := q.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCollapsibleCapacityIsCountBound: the valid-entry count can never
+// exceed Entries even though the ring is larger.
+func TestCollapsibleCapacityIsCountBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	q := MustNew(Config{Entries: 16, BankSize: 8, Collapsible: true})
+	live := map[int64]bool{}
+	var id int64
+	for step := 0; step < 20_000; step++ {
+		if rng.Intn(3) > 0 && q.CanDispatch() {
+			pos, ok := q.Dispatch(id, [2]int{-1, -1}, [2]bool{false, false})
+			if !ok {
+				t.Fatalf("step %d: CanDispatch lied", step)
+			}
+			live[pos] = true
+			id++
+		} else {
+			for pos := range live {
+				q.Issue(pos)
+				delete(live, pos)
+				break
+			}
+		}
+		if q.Count() > 16 {
+			t.Fatalf("step %d: count %d exceeds capacity", step, q.Count())
+		}
+		if step%1000 == 0 {
+			if err := q.CheckInvariants(); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+		}
+	}
+	// The virtual positions must have wrapped the enlarged ring at least
+	// once for the test to have exercised wraparound.
+	if q.Tail() < int64(16*4) {
+		t.Errorf("tail %d: ring never wrapped", q.Tail())
+	}
+}
+
+// TestNonCollapsibleSpanBound: contrast case — the paper's queue stays
+// span-blocked by a hole at the head.
+func TestNonCollapsibleSpanBound(t *testing.T) {
+	q := MustNew(Config{Entries: 8, BankSize: 4})
+	var positions []int64
+	for i := int64(0); i < 8; i++ {
+		p, _ := q.Dispatch(i, [2]int{-1, -1}, [2]bool{false, false})
+		positions = append(positions, p)
+	}
+	q.Issue(positions[3])
+	if q.CanDispatch() {
+		t.Fatal("non-collapsible queue must remain span-blocked")
+	}
+}

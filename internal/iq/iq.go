@@ -1,0 +1,430 @@
+// Package iq implements the paper's issue queue (section 3.1): a
+// non-collapsible, multi-banked circular buffer with a conventional head
+// and tail pointer plus a second head pointer, new_head, that gives the
+// compiler control over the youngest entries. A hint sets max_new_range —
+// the maximum number of valid entries allowed between new_head and tail —
+// and snaps new_head to the tail, so older entries belong to older program
+// regions and do not count against the new region's budget.
+//
+// The queue also performs the power accounting of Folegnani & González
+// style wakeup gating: on every result broadcast it records how many
+// operand comparators would precharge under three schemes — ungated (every
+// operand of every entry, 2×capacity), non-empty gating (every operand of
+// every valid entry), and full gating (only waiting, i.e. non-ready,
+// operands of valid entries). Broadcast energy is charged against the
+// waiting-operand population at the start of the cycle, which reproduces
+// the wakeup counts of the paper's figure 1 exactly (see the tests).
+package iq
+
+import "fmt"
+
+// OperandsPerEntry is the number of source-operand CAM fields per entry.
+const OperandsPerEntry = 2
+
+// Config sizes the queue. The paper uses 80 entries in banks of 8.
+// Collapsible models a compacting queue for the ablation benchmarks: the
+// paper's design is non-collapsible ("a compaction scheme would cause a
+// significant amount of extra energy", section 3.1), so holes left by
+// out-of-order issue waste physical slots; a collapsible queue is
+// count-limited instead of span-limited, trading compaction energy (not
+// modelled) for effective capacity.
+type Config struct {
+	Entries     int
+	BankSize    int
+	Collapsible bool
+}
+
+// DefaultConfig is the paper's issue queue: 80 entries, 10 banks of 8.
+func DefaultConfig() Config { return Config{Entries: 80, BankSize: 8} }
+
+// Entry is one issue-queue slot. Tags are physical register numbers; a
+// negative tag marks an absent operand (an "empty" operand in the paper's
+// figure 1, which is never woken).
+type Entry struct {
+	Valid   bool
+	ID      int64 // client identifier (ROB index)
+	Tag     [OperandsPerEntry]int
+	Waiting [OperandsPerEntry]bool
+}
+
+// Ready reports whether all present operands have arrived.
+func (e *Entry) Ready() bool {
+	return !e.Waiting[0] && !e.Waiting[1]
+}
+
+// Stats accumulates the power-relevant event counts.
+type Stats struct {
+	Dispatches int64
+	Issues     int64
+	Broadcasts int64
+	// Woken counts operands actually transitioned to ready by a broadcast.
+	Woken int64
+	// GatedWakeups: comparators precharged with full gating (waiting
+	// operands of valid entries at cycle start) summed over broadcasts.
+	GatedWakeups int64
+	// NonEmptyWakeups: comparators precharged when only empty entries are
+	// gated (2 × valid entries at cycle start) summed over broadcasts.
+	NonEmptyWakeups int64
+	// UngatedWakeups: comparators with no gating (2 × capacity per
+	// broadcast).
+	UngatedWakeups int64
+	// HintSets counts max_new_range updates.
+	HintSets int64
+	// OccupancySum/SpanSum/BanksOnSum accumulate per-cycle samples via Tick.
+	OccupancySum int64
+	SpanSum      int64
+	BanksOnSum   int64
+	NewCountSum  int64
+	Cycles       int64
+}
+
+// Queue is the issue queue. Positions are virtual (monotonically
+// increasing); the physical slot of position p is p mod the ring size
+// (Entries for the paper's non-collapsible queue; larger when modelling
+// a collapsible one, where holes do not consume capacity).
+type Queue struct {
+	cfg      Config
+	banks    int
+	ringSize int
+	ring     []Entry
+	head     int64 // oldest valid position, or == tail when empty
+	newHead  int64 // oldest position of the current program region
+	tail     int64 // next position to fill
+
+	count     int // valid entries
+	newCount  int // valid entries in [newHead, tail)
+	waiting   int // waiting operands over all valid entries
+	bankCount []int
+
+	maxNewRange int // 0 = unlimited (no compiler control)
+	sizeLimit   int // 0 = unlimited; hardware-adaptive cap on valid entries
+
+	// latched at BeginCycle for broadcast energy accounting
+	latchedWaiting int
+	latchedCount   int
+
+	Stats Stats
+}
+
+// New builds a queue; Entries must be a positive multiple of BankSize.
+func New(cfg Config) (*Queue, error) {
+	if cfg.Entries <= 0 || cfg.BankSize <= 0 || cfg.Entries%cfg.BankSize != 0 {
+		return nil, fmt.Errorf("iq: bad geometry entries=%d bankSize=%d", cfg.Entries, cfg.BankSize)
+	}
+	ringSize := cfg.Entries
+	if cfg.Collapsible {
+		// Headroom for holes: the span can reach the in-flight window
+		// even though only Entries slots are logically occupied.
+		ringSize = cfg.Entries * 4
+	}
+	return &Queue{
+		cfg:       cfg,
+		banks:     cfg.Entries / cfg.BankSize,
+		ringSize:  ringSize,
+		ring:      make([]Entry, ringSize),
+		bankCount: make([]int, ringSize/cfg.BankSize),
+	}, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(cfg Config) *Queue {
+	q, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// Capacity returns the total entry count.
+func (q *Queue) Capacity() int { return q.cfg.Entries }
+
+// Banks returns the number of banks.
+func (q *Queue) Banks() int { return q.banks }
+
+// Count returns the number of valid entries.
+func (q *Queue) Count() int { return q.count }
+
+// NewCount returns the number of valid entries in the current region.
+func (q *Queue) NewCount() int { return q.newCount }
+
+// Span returns tail-head: the physical region the queue occupies (holes
+// included), which bounds dispatch in a non-collapsible queue.
+func (q *Queue) Span() int { return int(q.tail - q.head) }
+
+// WaitingOperands returns the number of non-ready operands of valid
+// entries right now.
+func (q *Queue) WaitingOperands() int { return q.waiting }
+
+// MaxNewRange returns the current compiler-imposed limit (0 = none).
+func (q *Queue) MaxNewRange() int { return q.maxNewRange }
+
+// BanksOn returns how many banks hold at least one valid entry; the rest
+// are gated off this cycle.
+func (q *Queue) BanksOn() int {
+	on := 0
+	for _, c := range q.bankCount {
+		if c > 0 {
+			on++
+		}
+	}
+	return on
+}
+
+func (q *Queue) slot(pos int64) *Entry { return &q.ring[int(pos%int64(q.ringSize))] }
+
+func (q *Queue) bankOf(pos int64) int {
+	return int(pos%int64(q.ringSize)) / q.cfg.BankSize
+}
+
+// SetHint installs a new max_new_range from a compiler hint: the current
+// region closes (new_head snaps to tail) and subsequent dispatches are
+// limited to entries valid entries in the new region. Values are clamped
+// to [1, capacity].
+func (q *Queue) SetHint(entries int) {
+	if entries < 1 {
+		entries = 1
+	}
+	if entries > q.cfg.Entries {
+		entries = q.cfg.Entries
+	}
+	q.maxNewRange = entries
+	q.newHead = q.tail
+	q.newCount = 0
+	q.Stats.HintSets++
+}
+
+// ClearHint removes compiler control (used by the uncontrolled baseline).
+func (q *Queue) ClearHint() {
+	q.maxNewRange = 0
+	q.newHead = q.tail
+	q.newCount = 0
+}
+
+// SetSizeLimit installs a hardware-adaptive cap on the number of valid
+// entries (bank-granular resizing à la Abella & González / Buyuktosunoglu
+// et al.). Zero removes the cap.
+func (q *Queue) SetSizeLimit(entries int) {
+	if entries < 0 {
+		entries = 0
+	}
+	if entries > q.cfg.Entries {
+		entries = q.cfg.Entries
+	}
+	q.sizeLimit = entries
+}
+
+// SizeLimit returns the adaptive cap (0 = none).
+func (q *Queue) SizeLimit() int { return q.sizeLimit }
+
+// SizeLimitBlocked reports whether dispatch is blocked specifically by
+// the adaptive size limit.
+func (q *Queue) SizeLimitBlocked() bool {
+	return !q.physicallyFull() && q.sizeLimit > 0 && q.count >= q.sizeLimit
+}
+
+// CanDispatch reports whether one more instruction may enter the queue:
+// there must be physical capacity — span-limited for the paper's
+// non-collapsible queue, count-limited for the collapsible ablation —
+// the current region must have hint budget left, and any adaptive size
+// limit must not be exceeded.
+func (q *Queue) CanDispatch() bool {
+	if q.physicallyFull() {
+		return false
+	}
+	if q.maxNewRange > 0 && q.newCount >= q.maxNewRange {
+		return false
+	}
+	if q.sizeLimit > 0 && q.count >= q.sizeLimit {
+		return false
+	}
+	return true
+}
+
+// physicallyFull reports whether the queue itself (ignoring hints and
+// adaptive limits) can accept no more instructions.
+func (q *Queue) physicallyFull() bool {
+	if q.cfg.Collapsible {
+		return q.count >= q.cfg.Entries || q.Span() >= q.ringSize
+	}
+	return q.Span() >= q.cfg.Entries
+}
+
+// HintBlocked reports whether dispatch is blocked specifically by the
+// compiler hint rather than by physical capacity.
+func (q *Queue) HintBlocked() bool {
+	return !q.physicallyFull() && q.maxNewRange > 0 && q.newCount >= q.maxNewRange
+}
+
+// Dispatch places an instruction at the tail. tags are the physical
+// source registers (negative = no operand); waiting marks operands whose
+// producers have not completed. Returns the entry's position, or ok=false
+// if the queue cannot accept it.
+func (q *Queue) Dispatch(id int64, tags [OperandsPerEntry]int, waiting [OperandsPerEntry]bool) (pos int64, ok bool) {
+	if !q.CanDispatch() {
+		return 0, false
+	}
+	pos = q.tail
+	e := q.slot(pos)
+	*e = Entry{Valid: true, ID: id, Tag: tags, Waiting: waiting}
+	for i := 0; i < OperandsPerEntry; i++ {
+		if tags[i] < 0 {
+			e.Waiting[i] = false
+		}
+		if e.Waiting[i] {
+			q.waiting++
+		}
+	}
+	q.tail++
+	q.count++
+	q.newCount++
+	q.bankCount[q.bankOf(pos)]++
+	q.Stats.Dispatches++
+	return pos, true
+}
+
+// Issue removes the valid entry at pos (it has been selected and read its
+// payload). The head and new_head pointers slide past any invalid entries
+// they now point to, exactly like the paper's figure 2.
+func (q *Queue) Issue(pos int64) {
+	e := q.slot(pos)
+	if !e.Valid {
+		panic(fmt.Sprintf("iq: issuing invalid entry at pos %d", pos))
+	}
+	for i := 0; i < OperandsPerEntry; i++ {
+		if e.Waiting[i] {
+			q.waiting--
+		}
+	}
+	e.Valid = false
+	q.count--
+	if pos >= q.newHead {
+		q.newCount--
+	}
+	q.bankCount[q.bankOf(pos)]--
+	q.Stats.Issues++
+	q.advanceHeads()
+}
+
+func (q *Queue) advanceHeads() {
+	for q.head < q.tail && !q.slot(q.head).Valid {
+		q.head++
+	}
+	if q.newHead < q.head {
+		q.newHead = q.head
+	}
+	for q.newHead < q.tail && !q.slot(q.newHead).Valid {
+		q.newHead++
+	}
+}
+
+// BeginCycle latches the waiting-operand and occupancy counts used to
+// charge this cycle's broadcasts, and samples occupancy statistics.
+func (q *Queue) BeginCycle() {
+	q.latchedWaiting = q.waiting
+	q.latchedCount = q.count
+	q.Stats.Cycles++
+	q.Stats.OccupancySum += int64(q.count)
+	q.Stats.SpanSum += int64(q.Span())
+	q.Stats.BanksOnSum += int64(q.BanksOn())
+	q.Stats.NewCountSum += int64(q.newCount)
+}
+
+// Broadcast wakes all operands waiting on tag and charges wakeup energy
+// under the three gating schemes. It returns the number of operands woken.
+func (q *Queue) Broadcast(tag int) int {
+	q.Stats.Broadcasts++
+	q.Stats.GatedWakeups += int64(q.latchedWaiting)
+	q.Stats.NonEmptyWakeups += int64(OperandsPerEntry * q.latchedCount)
+	q.Stats.UngatedWakeups += int64(OperandsPerEntry * q.cfg.Entries)
+	woken := 0
+	for pos := q.head; pos < q.tail; pos++ {
+		e := q.slot(pos)
+		if !e.Valid {
+			continue
+		}
+		for i := 0; i < OperandsPerEntry; i++ {
+			if e.Waiting[i] && e.Tag[i] == tag {
+				e.Waiting[i] = false
+				q.waiting--
+				woken++
+			}
+		}
+	}
+	q.Stats.Woken += int64(woken)
+	return woken
+}
+
+// ForEachValid visits valid entries oldest-first; the visitor returns
+// false to stop early.
+func (q *Queue) ForEachValid(f func(pos int64, e *Entry) bool) {
+	for pos := q.head; pos < q.tail; pos++ {
+		e := q.slot(pos)
+		if !e.Valid {
+			continue
+		}
+		if !f(pos, e) {
+			return
+		}
+	}
+}
+
+// Head, NewHead, Tail expose the virtual pointers (tests, debugging).
+func (q *Queue) Head() int64    { return q.head }
+func (q *Queue) NewHead() int64 { return q.newHead }
+func (q *Queue) Tail() int64    { return q.tail }
+
+// CheckInvariants verifies internal consistency; tests call it after
+// random operation sequences.
+func (q *Queue) CheckInvariants() error {
+	if q.head > q.newHead || q.newHead > q.tail {
+		return fmt.Errorf("pointer order violated: head=%d newHead=%d tail=%d", q.head, q.newHead, q.tail)
+	}
+	if q.Span() > q.ringSize {
+		return fmt.Errorf("span %d exceeds ring %d", q.Span(), q.ringSize)
+	}
+	if q.cfg.Collapsible && q.count > q.cfg.Entries {
+		return fmt.Errorf("count %d exceeds capacity %d", q.count, q.cfg.Entries)
+	}
+	count, waiting, newCount := 0, 0, 0
+	bank := make([]int, len(q.bankCount))
+	for pos := q.head; pos < q.tail; pos++ {
+		e := q.slot(pos)
+		if !e.Valid {
+			continue
+		}
+		count++
+		bank[q.bankOf(pos)]++
+		if pos >= q.newHead {
+			newCount++
+		}
+		for i := 0; i < OperandsPerEntry; i++ {
+			if e.Waiting[i] {
+				waiting++
+			}
+		}
+	}
+	if count != q.count {
+		return fmt.Errorf("count %d != recomputed %d", q.count, count)
+	}
+	if waiting != q.waiting {
+		return fmt.Errorf("waiting %d != recomputed %d", q.waiting, waiting)
+	}
+	if newCount != q.newCount {
+		return fmt.Errorf("newCount %d != recomputed %d", q.newCount, newCount)
+	}
+	for b := range bank {
+		if bank[b] != q.bankCount[b] {
+			return fmt.Errorf("bank %d count %d != recomputed %d", b, q.bankCount[b], bank[b])
+		}
+	}
+	if q.head < q.tail && !q.slot(q.head).Valid {
+		return fmt.Errorf("head points at invalid entry")
+	}
+	if q.newHead < q.tail && !q.slot(q.newHead).Valid {
+		return fmt.Errorf("newHead points at invalid entry")
+	}
+	if q.maxNewRange > 0 && q.newCount > q.maxNewRange {
+		return fmt.Errorf("newCount %d exceeds maxNewRange %d", q.newCount, q.maxNewRange)
+	}
+	return nil
+}

@@ -1,0 +1,283 @@
+// Package isa defines the instruction set architecture used throughout the
+// reproduction: a small load/store RISC ISA with integer and floating-point
+// register files, compare-and-branch control flow, direct calls, and a
+// special hint NOOP that carries an issue-queue size in otherwise unused
+// bits (the mechanism of Jones et al., HPCA 2005, section 3). Every real
+// instruction also has spare encoding bits that can carry the same hint,
+// which implements the paper's "Extension" tagging scheme.
+package isa
+
+import "fmt"
+
+// Reg names an architectural register. Registers 0..IntRegs-1 are the
+// integer file (R0 is hardwired to zero); registers IntRegs..IntRegs+FPRegs-1
+// are the floating-point file. RegNone marks an absent operand.
+type Reg uint8
+
+// Architectural register file sizes.
+const (
+	IntRegs = 32
+	FPRegs  = 32
+
+	// RegNone marks "no register" for unused operand slots.
+	RegNone Reg = 255
+)
+
+// RZero is the hardwired-zero integer register.
+const RZero Reg = 0
+
+// IsInt reports whether r is an integer architectural register.
+func (r Reg) IsInt() bool { return r < IntRegs }
+
+// IsFP reports whether r is a floating-point architectural register.
+func (r Reg) IsFP() bool { return r >= IntRegs && r < IntRegs+FPRegs }
+
+// Valid reports whether r names a real register.
+func (r Reg) Valid() bool { return r < IntRegs+FPRegs }
+
+// FP returns the i'th floating-point register.
+func FP(i int) Reg { return Reg(IntRegs + i) }
+
+// R returns the i'th integer register.
+func R(i int) Reg { return Reg(i) }
+
+// String returns the assembler name of the register (r0..r31, f0..f31).
+func (r Reg) String() string {
+	switch {
+	case r == RegNone:
+		return "-"
+	case r.IsInt():
+		return fmt.Sprintf("r%d", int(r))
+	case r.IsFP():
+		return fmt.Sprintf("f%d", int(r)-IntRegs)
+	default:
+		return fmt.Sprintf("reg?%d", int(r))
+	}
+}
+
+// Op is an operation code.
+type Op uint8
+
+// Operation codes. The set intentionally mirrors what the paper's analysis
+// distinguishes: single-cycle integer ALU ops, multi-cycle multiplies and
+// divides, floating point ops with their own units, memory operations,
+// control flow, and the special hint NOOP.
+const (
+	Nop Op = iota
+	// HintNop is the paper's special NOOP: it encodes max_new_range in
+	// unused bits, is never executed, and is stripped at the final decode
+	// stage before dispatch (consuming a dispatch slot).
+	HintNop
+
+	// Integer ALU (1 cycle).
+	Li   // dst = imm
+	Mov  // dst = src1
+	Add  // dst = src1 + src2
+	Sub  // dst = src1 - src2
+	And  // dst = src1 & src2
+	Or   // dst = src1 | src2
+	Xor  // dst = src1 ^ src2
+	Shl  // dst = src1 << (src2 & 63)
+	Shr  // dst = src1 >> (src2 & 63) (logical)
+	Slt  // dst = src1 < src2 ? 1 : 0
+	Addi // dst = src1 + imm
+	Andi // dst = src1 & imm
+	Xori // dst = src1 ^ imm
+	Shli // dst = src1 << imm
+	Shri // dst = src1 >> imm
+	Slti // dst = src1 < imm ? 1 : 0
+
+	// Integer multiply/divide (multi-cycle, uses the Mul units).
+	Mul  // dst = src1 * src2
+	Muli // dst = src1 * imm
+	Div  // dst = src1 / src2 (0 if src2 == 0)
+	Rem  // dst = src1 % src2 (0 if src2 == 0)
+
+	// Floating point.
+	FAdd // dst = src1 + src2
+	FSub // dst = src1 - src2
+	FMul // dst = src1 * src2
+	FDiv // dst = src1 / src2
+	FMov // dst = src1
+	ItoF // dst(fp) = float(src1(int))
+	FtoI // dst(int) = int(src1(fp))
+
+	// Memory. Effective address = src1 + imm. Ld/St move integer words;
+	// LdF/StF move floats. St stores src2 to [src1+imm].
+	Ld
+	St
+	LdF
+	StF
+
+	// Control flow. Conditional branches compare src1 against src2 and
+	// jump to Target (a block index before linking, a PC after).
+	Beq
+	Bne
+	Blt // signed less-than
+	Bge // signed greater-or-equal
+	Jmp
+
+	// Call transfers to procedure Target; Ret returns to the caller.
+	// CallLib marks a call to an opaque "library" routine: the paper's
+	// analysis gives up before these and allows the IQ its maximum size.
+	Call
+	CallLib
+	Ret
+
+	// Halt terminates the program.
+	Halt
+
+	numOps
+)
+
+// NumOps is the number of defined opcodes.
+const NumOps = int(numOps)
+
+// Class groups opcodes by the functional unit / pipeline treatment they
+// receive; it matches the resource classes of the paper's table 1.
+type Class uint8
+
+// Functional-unit classes.
+const (
+	ClassNop Class = iota
+	ClassIntALU
+	ClassIntMul // the "3 Mul" units; also used (with longer latency) by Div/Rem
+	ClassFPALU
+	ClassFPMulDiv
+	ClassLoad
+	ClassStore
+	ClassBranch // executes on an integer ALU
+	ClassCtrl   // call/ret/jmp; executes on an integer ALU
+	ClassHalt
+	NumClasses
+)
+
+var opClass = [NumOps]Class{
+	Nop:     ClassNop,
+	HintNop: ClassNop,
+	Li:      ClassIntALU, Mov: ClassIntALU, Add: ClassIntALU, Sub: ClassIntALU,
+	And: ClassIntALU, Or: ClassIntALU, Xor: ClassIntALU, Shl: ClassIntALU,
+	Shr: ClassIntALU, Slt: ClassIntALU, Addi: ClassIntALU, Andi: ClassIntALU,
+	Xori: ClassIntALU, Shli: ClassIntALU, Shri: ClassIntALU, Slti: ClassIntALU,
+	Mul: ClassIntMul, Muli: ClassIntMul, Div: ClassIntMul, Rem: ClassIntMul,
+	FAdd: ClassFPALU, FSub: ClassFPALU, FMov: ClassFPALU, ItoF: ClassFPALU, FtoI: ClassFPALU,
+	FMul: ClassFPMulDiv, FDiv: ClassFPMulDiv,
+	Ld: ClassLoad, LdF: ClassLoad,
+	St: ClassStore, StF: ClassStore,
+	Beq: ClassBranch, Bne: ClassBranch, Blt: ClassBranch, Bge: ClassBranch,
+	Jmp: ClassCtrl, Call: ClassCtrl, CallLib: ClassCtrl, Ret: ClassCtrl,
+	Halt: ClassHalt,
+}
+
+// Class returns the functional-unit class of the opcode.
+func (o Op) Class() Class {
+	if int(o) < NumOps {
+		return opClass[o]
+	}
+	return ClassNop
+}
+
+// Latency returns the execution latency, in cycles, the compiler assumes
+// for the opcode (paper table 1; loads assume an L1 hit, per section 4.2).
+func (o Op) Latency() int {
+	switch o.Class() {
+	case ClassIntALU, ClassBranch, ClassCtrl:
+		return 1
+	case ClassIntMul:
+		if o == Div || o == Rem {
+			return 12
+		}
+		return 3
+	case ClassFPALU:
+		return 2
+	case ClassFPMulDiv:
+		if o == FDiv {
+			return 12
+		}
+		return 4
+	case ClassLoad:
+		return 2 // L1 D-cache hit
+	case ClassStore:
+		return 1 // address generation
+	default:
+		return 1
+	}
+}
+
+// IsBranch reports whether the op is a conditional branch.
+func (o Op) IsBranch() bool { return o.Class() == ClassBranch }
+
+// IsCtrl reports whether the op unconditionally changes control flow.
+func (o Op) IsCtrl() bool { return o.Class() == ClassCtrl }
+
+// IsCall reports whether the op is a procedure call (library or not).
+func (o Op) IsCall() bool { return o == Call || o == CallLib }
+
+// IsMem reports whether the op accesses memory.
+func (o Op) IsMem() bool { c := o.Class(); return c == ClassLoad || c == ClassStore }
+
+// IsLoad reports whether the op reads memory.
+func (o Op) IsLoad() bool { return o.Class() == ClassLoad }
+
+// IsStore reports whether the op writes memory.
+func (o Op) IsStore() bool { return o.Class() == ClassStore }
+
+// HasImm reports whether the opcode uses its immediate operand.
+func (o Op) HasImm() bool {
+	switch o {
+	case Li, Addi, Andi, Xori, Shli, Shri, Slti, Muli, Ld, St, LdF, StF, HintNop:
+		return true
+	}
+	return false
+}
+
+var opNames = [NumOps]string{
+	Nop: "nop", HintNop: "hint",
+	Li: "li", Mov: "mov", Add: "add", Sub: "sub", And: "and", Or: "or",
+	Xor: "xor", Shl: "shl", Shr: "shr", Slt: "slt",
+	Addi: "addi", Andi: "andi", Xori: "xori", Shli: "shli", Shri: "shri", Slti: "slti",
+	Mul: "mul", Muli: "muli", Div: "div", Rem: "rem",
+	FAdd: "fadd", FSub: "fsub", FMul: "fmul", FDiv: "fdiv", FMov: "fmov",
+	ItoF: "itof", FtoI: "ftoi",
+	Ld: "ld", St: "st", LdF: "ldf", StF: "stf",
+	Beq: "beq", Bne: "bne", Blt: "blt", Bge: "bge", Jmp: "jmp",
+	Call: "call", CallLib: "calllib", Ret: "ret", Halt: "halt",
+}
+
+// String returns the assembler mnemonic.
+func (o Op) String() string {
+	if int(o) < NumOps && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op?%d", int(o))
+}
+
+// OpByName maps assembler mnemonics back to opcodes; unknown names return
+// (0, false).
+func OpByName(name string) (Op, bool) {
+	for i, n := range opNames {
+		if n == name {
+			return Op(i), true
+		}
+	}
+	return 0, false
+}
+
+var classNames = [NumClasses]string{
+	ClassNop: "nop", ClassIntALU: "ialu", ClassIntMul: "imul",
+	ClassFPALU: "falu", ClassFPMulDiv: "fmul", ClassLoad: "load",
+	ClassStore: "store", ClassBranch: "branch", ClassCtrl: "ctrl",
+	ClassHalt: "halt",
+}
+
+// String returns a short class name.
+func (c Class) String() string {
+	if int(c) < int(NumClasses) {
+		return classNames[c]
+	}
+	return fmt.Sprintf("class?%d", int(c))
+}
+
+// InstBytes is the size of one encoded instruction; program counters
+// advance by this amount and instruction-cache lines are multiples of it.
+const InstBytes = 4

@@ -1,0 +1,149 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRegClassification(t *testing.T) {
+	if !R(0).IsInt() || R(0) != RZero {
+		t.Fatalf("r0 must be the integer zero register")
+	}
+	if !R(31).IsInt() || R(31).IsFP() {
+		t.Errorf("r31 misclassified")
+	}
+	if !FP(0).IsFP() || FP(0).IsInt() {
+		t.Errorf("f0 misclassified")
+	}
+	if !FP(31).Valid() || FP(31).String() != "f31" {
+		t.Errorf("f31: valid=%v string=%q", FP(31).Valid(), FP(31).String())
+	}
+	if RegNone.Valid() {
+		t.Errorf("RegNone must be invalid")
+	}
+	if got := RegNone.String(); got != "-" {
+		t.Errorf("RegNone.String() = %q, want -", got)
+	}
+	if got := R(7).String(); got != "r7" {
+		t.Errorf("r7 string = %q", got)
+	}
+}
+
+func TestOpClassesTotal(t *testing.T) {
+	// Every op must have a class and a name.
+	for op := Op(0); int(op) < NumOps; op++ {
+		if op.String() == "" {
+			t.Errorf("op %d has no name", op)
+		}
+		if op.Latency() < 1 {
+			t.Errorf("op %v latency %d < 1", op, op.Latency())
+		}
+	}
+}
+
+func TestOpRoundTripNames(t *testing.T) {
+	for op := Op(0); int(op) < NumOps; op++ {
+		got, ok := OpByName(op.String())
+		if !ok || got != op {
+			t.Errorf("OpByName(%q) = %v,%v want %v", op.String(), got, ok, op)
+		}
+	}
+	if _, ok := OpByName("bogus"); ok {
+		t.Errorf("OpByName accepted bogus mnemonic")
+	}
+}
+
+func TestClassPredicates(t *testing.T) {
+	cases := []struct {
+		op                                       Op
+		branch, ctrl, call, mem, load, store, im bool
+	}{
+		{Add, false, false, false, false, false, false, false},
+		{Addi, false, false, false, false, false, false, true},
+		{Beq, true, false, false, false, false, false, false},
+		{Jmp, false, true, false, false, false, false, false},
+		{Call, false, true, true, false, false, false, false},
+		{CallLib, false, true, true, false, false, false, false},
+		{Ret, false, true, false, false, false, false, false},
+		{Ld, false, false, false, true, true, false, true},
+		{St, false, false, false, true, false, true, true},
+		{LdF, false, false, false, true, true, false, true},
+		{StF, false, false, false, true, false, true, true},
+		{HintNop, false, false, false, false, false, false, true},
+	}
+	for _, c := range cases {
+		if c.op.IsBranch() != c.branch {
+			t.Errorf("%v IsBranch=%v want %v", c.op, c.op.IsBranch(), c.branch)
+		}
+		if c.op.IsCtrl() != c.ctrl {
+			t.Errorf("%v IsCtrl=%v want %v", c.op, c.op.IsCtrl(), c.ctrl)
+		}
+		if c.op.IsCall() != c.call {
+			t.Errorf("%v IsCall=%v want %v", c.op, c.op.IsCall(), c.call)
+		}
+		if c.op.IsMem() != c.mem {
+			t.Errorf("%v IsMem=%v want %v", c.op, c.op.IsMem(), c.mem)
+		}
+		if c.op.IsLoad() != c.load {
+			t.Errorf("%v IsLoad=%v want %v", c.op, c.op.IsLoad(), c.load)
+		}
+		if c.op.IsStore() != c.store {
+			t.Errorf("%v IsStore=%v want %v", c.op, c.op.IsStore(), c.store)
+		}
+		if c.op.HasImm() != c.im {
+			t.Errorf("%v HasImm=%v want %v", c.op, c.op.HasImm(), c.im)
+		}
+	}
+}
+
+func TestLatenciesMatchTable1(t *testing.T) {
+	// Paper table 1: int ALU 1 cycle, Mul 3 cycles, FP ALU 2 cycles,
+	// FP mult 4 cycles, FP div 12 cycles; L1 D hit 2 cycles.
+	if Add.Latency() != 1 {
+		t.Errorf("int alu latency %d want 1", Add.Latency())
+	}
+	if Mul.Latency() != 3 {
+		t.Errorf("int mul latency %d want 3", Mul.Latency())
+	}
+	if FAdd.Latency() != 2 {
+		t.Errorf("fp alu latency %d want 2", FAdd.Latency())
+	}
+	if FMul.Latency() != 4 {
+		t.Errorf("fp mul latency %d want 4", FMul.Latency())
+	}
+	if FDiv.Latency() != 12 {
+		t.Errorf("fp div latency %d want 12", FDiv.Latency())
+	}
+	if Ld.Latency() != 2 {
+		t.Errorf("load latency %d want 2", Ld.Latency())
+	}
+}
+
+func TestRegStringNeverPanics(t *testing.T) {
+	f := func(r uint8) bool {
+		return Reg(r).String() != ""
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOpClassNeverPanics(t *testing.T) {
+	f := func(o uint8) bool {
+		op := Op(o)
+		_ = op.Class()
+		_ = op.String()
+		return op.Latency() >= 1 || !false
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClassString(t *testing.T) {
+	for c := Class(0); c < NumClasses; c++ {
+		if c.String() == "" {
+			t.Errorf("class %d has empty name", c)
+		}
+	}
+}

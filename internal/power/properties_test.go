@@ -1,0 +1,88 @@
+package power
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+// TestEnergyMonotonicInActivity: more of any activity can never reduce
+// energy under any gating scheme — the foundational sanity property of
+// the model.
+func TestEnergyMonotonicInActivity(t *testing.T) {
+	p := DefaultParams()
+	f := func(cyc, insts, gated, nonEmpty, ungated uint16, extra uint8) bool {
+		base := mkStats(int64(cyc)+1, int64(insts), int64(insts),
+			int64(gated), int64(gated)+int64(nonEmpty), int64(gated)+int64(nonEmpty)+int64(ungated),
+			(int64(cyc)+1)*5)
+		more := base
+		more.IQ.GatedWakeups += int64(extra)
+		more.IQ.NonEmptyWakeups += int64(extra)
+		more.IQ.UngatedWakeups += int64(extra)
+		for _, g := range []GatingScheme{Ungated, NonEmpty, Gated} {
+			if p.IQDynamic(&more, g) < p.IQDynamic(&base, g) {
+				return false
+			}
+		}
+		more2 := base
+		more2.IQ.Issues += int64(extra)
+		if p.IQDynamic(&more2, Gated) < p.IQDynamic(&base, Gated) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestStaticMonotonicInBanks: leakage grows with banks-on time.
+func TestStaticMonotonicInBanks(t *testing.T) {
+	p := DefaultParams()
+	f := func(cyc uint16, on1, on2 uint16) bool {
+		var a, b sim.Stats
+		a.Cycles, b.Cycles = int64(cyc)+1, int64(cyc)+1
+		a.IQ.BanksOnSum = int64(on1)
+		b.IQ.BanksOnSum = int64(on1) + int64(on2)
+		return p.IQStatic(&b, 10, false) >= p.IQStatic(&a, 10, false)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSavingsBounded: savings against a baseline with strictly more
+// activity are always within (-inf, 100]; and a technique that does
+// strictly less of everything saves a positive amount.
+func TestSavingsBounded(t *testing.T) {
+	p := DefaultParams()
+	base := mkStats(1000, 2000, 2000, 40_000, 90_000, 320_000, 10_000)
+	tech := mkStats(1010, 2000, 2000, 20_000, 60_000, 320_000, 6_000)
+	tech.IntRF.BanksOnReads = 10 * 2 * 2000
+	tech.IntRF.BanksOnSum = 10 * 1010
+	sv := p.Compute(&base, &tech, 10, 14)
+	for name, v := range map[string]float64{
+		"iqDyn": sv.IQDynamicPct, "iqStat": sv.IQStaticPct,
+		"rfDyn": sv.RFDynamicPct, "rfStat": sv.RFStaticPct,
+	} {
+		if v <= 0 || v > 100 {
+			t.Errorf("%s = %.2f, want within (0,100]", name, v)
+		}
+	}
+}
+
+// TestParamsDocumentedConsistency: the calibrated static overhead must
+// reproduce the paper's internal identity saving ≈ 0.85 × banks-off at
+// the default parameters, for both structures.
+func TestParamsDocumentedConsistency(t *testing.T) {
+	p := DefaultParams()
+	check := func(banks int, fixed float64) {
+		total := float64(banks)*1.0 + fixed
+		if overhead := fixed / total; overhead < 0.13 || overhead > 0.17 {
+			t.Errorf("%d banks: fixed-leak share %.3f, want ~0.15", banks, overhead)
+		}
+	}
+	check(10, p.IQFixedLeak)
+	check(14, p.RFFixedLeak)
+}

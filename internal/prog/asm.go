@@ -1,0 +1,461 @@
+package prog
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"repro/internal/isa"
+)
+
+// The textual assembly format ("sdasm") round-trips programs through the
+// command-line tools: sdiqgen emits it, sdiqc reads it, analyses, inserts
+// hints, and writes it back. The grammar, one directive or instruction per
+// line ('#' starts a comment):
+//
+//	program NAME
+//	database ADDR
+//	data W0 W1 ...            (append words to the data segment)
+//	datazero N                (append N zero words)
+//	proc NAME [lib] [entry]
+//	LABEL:
+//	  OP operands [!iq=N]
+//	endproc
+//
+// Operand syntax mirrors Inst.String: "ld r1, 8(r2)", "st r3, 0(r2)",
+// "beq r1, r2, LABEL", "call name", "hint 12", "li r1, 42",
+// "addi r1, r2, 4", "add r1, r2, r3".
+
+// WriteAsm writes the program in sdasm form.
+func WriteAsm(w io.Writer, p *Program) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "program %s\n", p.Name)
+	if p.DataBase != DefaultDataBase {
+		fmt.Fprintf(bw, "database %d\n", p.DataBase)
+	}
+	writeData(bw, p.Data)
+	for _, pr := range p.Procs {
+		attrs := ""
+		if pr.IsLib {
+			attrs += " lib"
+		}
+		if pr.ID == p.Entry {
+			attrs += " entry"
+		}
+		fmt.Fprintf(bw, "\nproc %s%s\n", pr.Name, attrs)
+		labels := blockLabels(pr)
+		for _, b := range pr.Blocks {
+			if labels[b.ID] != "" {
+				fmt.Fprintf(bw, "%s:\n", labels[b.ID])
+			}
+			for i := range b.Insts {
+				fmt.Fprintf(bw, "  %s\n", formatInst(p, pr, &b.Insts[i], labels))
+			}
+		}
+		fmt.Fprintf(bw, "endproc\n")
+	}
+	return bw.Flush()
+}
+
+func writeData(w io.Writer, data []int64) {
+	// Runs of zeros compress to datazero; other words print 8 per line.
+	i := 0
+	for i < len(data) {
+		if data[i] == 0 {
+			j := i
+			for j < len(data) && data[j] == 0 {
+				j++
+			}
+			if j-i >= 4 {
+				fmt.Fprintf(w, "datazero %d\n", j-i)
+				i = j
+				continue
+			}
+		}
+		var line []string
+		for len(line) < 8 && i < len(data) {
+			if data[i] == 0 && len(line) == 0 {
+				break
+			}
+			line = append(line, strconv.FormatInt(data[i], 10))
+			i++
+		}
+		if len(line) == 0 {
+			line = append(line, "0")
+			i++
+		}
+		fmt.Fprintf(w, "data %s\n", strings.Join(line, " "))
+	}
+}
+
+func blockLabels(pr *Proc) []string {
+	labels := make([]string, len(pr.Blocks))
+	need := make([]bool, len(pr.Blocks))
+	need[0] = true
+	for _, b := range pr.Blocks {
+		last := b.Last()
+		if last != nil && (last.Op.IsBranch() || last.Op == isa.Jmp) {
+			need[last.Target] = true
+		}
+	}
+	for i, b := range pr.Blocks {
+		switch {
+		case b.Label != "":
+			labels[i] = b.Label
+		case need[i]:
+			labels[i] = fmt.Sprintf(".B%d", i)
+		}
+	}
+	return labels
+}
+
+func formatInst(p *Program, pr *Proc, in *Inst, labels []string) string {
+	tagSuffix := ""
+	if in.Hint != 0 && in.Op != isa.HintNop {
+		tagSuffix = fmt.Sprintf(" !iq=%d", in.Hint)
+	}
+	switch {
+	case in.Op.IsBranch():
+		return fmt.Sprintf("%s %s, %s, %s%s", in.Op, in.Src1, in.Src2, labels[in.Target], tagSuffix)
+	case in.Op == isa.Jmp:
+		return fmt.Sprintf("jmp %s%s", labels[in.Target], tagSuffix)
+	case in.Op.IsCall():
+		return fmt.Sprintf("%s %s%s", in.Op, p.Procs[in.Target].Name, tagSuffix)
+	default:
+		return in.String()
+	}
+}
+
+var labelRE = regexp.MustCompile(`^([.\w$]+):$`)
+
+// ParseAsm parses an sdasm program.
+func ParseAsm(r io.Reader) (*Program, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var b *Builder
+	name := "a.sdasm"
+	var data []int64
+	dataBase := DefaultDataBase
+	inProc := false
+	lineNo := 0
+	fail := func(format string, args ...any) (*Program, error) {
+		return nil, fmt.Errorf("line %d: %s", lineNo, fmt.Sprintf(format, args...))
+	}
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "program":
+			if len(fields) != 2 {
+				return fail("program needs a name")
+			}
+			name = fields[1]
+		case "database":
+			v, err := strconv.ParseUint(fields[1], 10, 64)
+			if err != nil {
+				return fail("bad database: %v", err)
+			}
+			dataBase = v
+		case "data":
+			for _, f := range fields[1:] {
+				v, err := strconv.ParseInt(f, 10, 64)
+				if err != nil {
+					return fail("bad data word %q: %v", f, err)
+				}
+				data = append(data, v)
+			}
+		case "datazero":
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n < 0 {
+				return fail("bad datazero count %q", fields[1])
+			}
+			data = append(data, make([]int64, n)...)
+		case "proc":
+			if len(fields) < 2 {
+				return fail("proc needs a name")
+			}
+			if b == nil {
+				b = NewBuilder(name)
+			}
+			isLib, isEntry := false, false
+			for _, a := range fields[2:] {
+				switch a {
+				case "lib":
+					isLib = true
+				case "entry":
+					isEntry = true
+				default:
+					return fail("unknown proc attribute %q", a)
+				}
+			}
+			if isLib {
+				b.LibProc(fields[1])
+			} else {
+				b.Proc(fields[1])
+			}
+			if isEntry {
+				b.Entry()
+			}
+			inProc = true
+		case "endproc":
+			inProc = false
+		default:
+			if !inProc {
+				return fail("instruction outside proc: %q", line)
+			}
+			if m := labelRE.FindStringSubmatch(line); m != nil {
+				b.Label(m[1])
+				continue
+			}
+			if err := parseInst(b, line); err != nil {
+				return fail("%v", err)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if b == nil {
+		return nil, fmt.Errorf("no procedures in input")
+	}
+	b.SetData(data)
+	p, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	p.DataBase = dataBase
+	return p, nil
+}
+
+var memRE = regexp.MustCompile(`^(-?\d+)\((r\d+|f\d+)\)$`)
+
+func parseInst(b *Builder, line string) error {
+	// Split off an !iq=N tag suffix.
+	hint := 0
+	if i := strings.Index(line, "!iq="); i >= 0 {
+		v, err := strconv.Atoi(strings.TrimSpace(line[i+4:]))
+		if err != nil {
+			return fmt.Errorf("bad !iq tag in %q", line)
+		}
+		hint = v
+		line = strings.TrimSpace(line[:i])
+	}
+	mnemonic, rest, _ := strings.Cut(line, " ")
+	op, ok := isa.OpByName(mnemonic)
+	if !ok {
+		return fmt.Errorf("unknown opcode %q", mnemonic)
+	}
+	args := splitArgs(rest)
+	in := NewInst(op)
+	in.Hint = hint
+
+	reg := func(s string) (isa.Reg, error) {
+		if len(s) < 2 {
+			return isa.RegNone, fmt.Errorf("bad register %q", s)
+		}
+		n, err := strconv.Atoi(s[1:])
+		if err != nil || n < 0 || n >= 32 {
+			return isa.RegNone, fmt.Errorf("bad register %q", s)
+		}
+		switch s[0] {
+		case 'r':
+			return isa.R(n), nil
+		case 'f':
+			return isa.FP(n), nil
+		}
+		return isa.RegNone, fmt.Errorf("bad register %q", s)
+	}
+	need := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("%s: want %d operands, got %d", mnemonic, n, len(args))
+		}
+		return nil
+	}
+
+	var err error
+	switch {
+	case op == isa.Nop:
+		if err = need(0); err != nil {
+			return err
+		}
+		b.Emit(in)
+	case op == isa.Halt:
+		if err = need(0); err != nil {
+			return err
+		}
+		b.Halt()
+	case op == isa.Ret:
+		if err = need(0); err != nil {
+			return err
+		}
+		b.Ret()
+	case op == isa.HintNop:
+		if err = need(1); err != nil {
+			return err
+		}
+		v, err := strconv.Atoi(args[0])
+		if err != nil {
+			return fmt.Errorf("hint: bad value %q", args[0])
+		}
+		b.Hint(v)
+	case op == isa.Li:
+		if err = need(2); err != nil {
+			return err
+		}
+		if in.Dst, err = reg(args[0]); err != nil {
+			return err
+		}
+		if in.Imm, err = strconv.ParseInt(args[1], 10, 64); err != nil {
+			return fmt.Errorf("li: bad immediate %q", args[1])
+		}
+		b.Emit(in)
+	case op == isa.Mov, op == isa.FMov, op == isa.ItoF, op == isa.FtoI:
+		if err = need(2); err != nil {
+			return err
+		}
+		if in.Dst, err = reg(args[0]); err != nil {
+			return err
+		}
+		if in.Src1, err = reg(args[1]); err != nil {
+			return err
+		}
+		b.Emit(in)
+	case op.IsLoad():
+		if err = need(2); err != nil {
+			return err
+		}
+		if in.Dst, err = reg(args[0]); err != nil {
+			return err
+		}
+		m := memRE.FindStringSubmatch(args[1])
+		if m == nil {
+			return fmt.Errorf("%s: bad memory operand %q", mnemonic, args[1])
+		}
+		in.Imm, _ = strconv.ParseInt(m[1], 10, 64)
+		if in.Src1, err = reg(m[2]); err != nil {
+			return err
+		}
+		b.Emit(in)
+	case op.IsStore():
+		if err = need(2); err != nil {
+			return err
+		}
+		if in.Src2, err = reg(args[0]); err != nil {
+			return err
+		}
+		m := memRE.FindStringSubmatch(args[1])
+		if m == nil {
+			return fmt.Errorf("%s: bad memory operand %q", mnemonic, args[1])
+		}
+		in.Imm, _ = strconv.ParseInt(m[1], 10, 64)
+		if in.Src1, err = reg(m[2]); err != nil {
+			return err
+		}
+		b.Emit(in)
+	case op.IsBranch():
+		if err = need(3); err != nil {
+			return err
+		}
+		var a, c isa.Reg
+		if a, err = reg(args[0]); err != nil {
+			return err
+		}
+		if c, err = reg(args[1]); err != nil {
+			return err
+		}
+		switch op {
+		case isa.Beq:
+			b.Beq(a, c, args[2])
+		case isa.Bne:
+			b.Bne(a, c, args[2])
+		case isa.Blt:
+			b.Blt(a, c, args[2])
+		case isa.Bge:
+			b.Bge(a, c, args[2])
+		}
+		b.setLastHint(hint)
+	case op == isa.Jmp:
+		if err = need(1); err != nil {
+			return err
+		}
+		b.Jmp(args[0])
+		b.setLastHint(hint)
+	case op.IsCall():
+		if err = need(1); err != nil {
+			return err
+		}
+		if op == isa.CallLib {
+			b.CallLib(args[0])
+		} else {
+			b.Call(args[0])
+		}
+		b.setLastHint(hint)
+	case op.HasImm():
+		if err = need(3); err != nil {
+			return err
+		}
+		if in.Dst, err = reg(args[0]); err != nil {
+			return err
+		}
+		if in.Src1, err = reg(args[1]); err != nil {
+			return err
+		}
+		if in.Imm, err = strconv.ParseInt(args[2], 10, 64); err != nil {
+			return fmt.Errorf("%s: bad immediate %q", mnemonic, args[2])
+		}
+		b.Emit(in)
+	default: // three-register ops
+		if err = need(3); err != nil {
+			return err
+		}
+		if in.Dst, err = reg(args[0]); err != nil {
+			return err
+		}
+		if in.Src1, err = reg(args[1]); err != nil {
+			return err
+		}
+		if in.Src2, err = reg(args[2]); err != nil {
+			return err
+		}
+		b.Emit(in)
+	}
+	return nil
+}
+
+// setLastHint tags the most recently emitted instruction (used by the
+// parser for terminators, which the Builder emits itself).
+func (b *Builder) setLastHint(hint int) {
+	if hint == 0 || b.cur == nil {
+		return
+	}
+	blocks := b.cur.proc.Blocks
+	for i := len(blocks) - 1; i >= 0; i-- {
+		if n := len(blocks[i].Insts); n > 0 {
+			blocks[i].Insts[n-1].Hint = hint
+			return
+		}
+	}
+}
+
+func splitArgs(s string) []string {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}

@@ -1,0 +1,390 @@
+package prog
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// Builder assembles a Program procedure by procedure with symbolic labels
+// and symbolic procedure names; Build resolves both and links the result.
+// The builder enforces the IR invariants: emitting a control transfer
+// closes the current block, so calls and branches always end blocks.
+type Builder struct {
+	prog    *Program
+	cur     *procBuilder
+	pending []*procBuilder
+	errs    []error
+}
+
+type procBuilder struct {
+	proc      *Proc
+	curBlock  *Block
+	labels    map[string]int // label -> block index
+	fixups    []fixup        // branch/jmp label references
+	callSites []callSite     // call name references
+	autoLabel int
+}
+
+type fixup struct {
+	block, inst int
+	label       string
+}
+
+type callSite struct {
+	block, inst int
+	name        string
+}
+
+// NewBuilder returns a builder for a program with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{prog: New(name)}
+}
+
+// SetData installs the initial data segment (8-byte words at DataBase).
+func (b *Builder) SetData(words []int64) { b.prog.Data = words }
+
+// AppendData appends words to the data segment and returns the byte
+// address of the first appended word.
+func (b *Builder) AppendData(words ...int64) uint64 {
+	addr := b.prog.DataBase + 8*uint64(len(b.prog.Data))
+	b.prog.Data = append(b.prog.Data, words...)
+	return addr
+}
+
+// Proc starts a new procedure. Subsequent instruction emissions go to it
+// until the next Proc call. The first block is created implicitly.
+func (b *Builder) Proc(name string) *Builder {
+	b.finishProc()
+	pb := &procBuilder{
+		proc:   &Proc{Name: name},
+		labels: map[string]int{},
+	}
+	b.cur = pb
+	b.pending = append(b.pending, pb)
+	b.startBlock("")
+	return b
+}
+
+// LibProc starts a new procedure marked as an opaque library routine.
+func (b *Builder) LibProc(name string) *Builder {
+	b.Proc(name)
+	b.cur.proc.IsLib = true
+	return b
+}
+
+// Entry marks the procedure being built as the program entry point.
+func (b *Builder) Entry() *Builder {
+	if b.cur == nil {
+		b.errs = append(b.errs, fmt.Errorf("Entry: no current procedure"))
+		return b
+	}
+	b.prog.Entry = len(b.prog.Procs) + indexOf(b.pending, b.cur)
+	return b
+}
+
+func indexOf(s []*procBuilder, pb *procBuilder) int {
+	for i, x := range s {
+		if x == pb {
+			return i
+		}
+	}
+	return -1
+}
+
+func (b *Builder) finishProc() {
+	if b.cur != nil && b.cur.curBlock != nil && len(b.cur.curBlock.Insts) == 0 {
+		// Trailing empty block from a terminator: drop it unless labelled.
+		if b.cur.curBlock.Label == "" && len(b.cur.proc.Blocks) > 1 {
+			b.cur.proc.Blocks = b.cur.proc.Blocks[:len(b.cur.proc.Blocks)-1]
+		}
+	}
+	b.cur = nil
+}
+
+func (b *Builder) startBlock(label string) {
+	pb := b.cur
+	blk := &Block{ID: len(pb.proc.Blocks), Label: label}
+	pb.proc.Blocks = append(pb.proc.Blocks, blk)
+	pb.curBlock = blk
+	if label != "" {
+		if _, dup := pb.labels[label]; dup {
+			b.errs = append(b.errs, fmt.Errorf("proc %q: duplicate label %q", pb.proc.Name, label))
+		}
+		pb.labels[label] = blk.ID
+	}
+}
+
+// Label starts a new basic block with the given label. If the current
+// block is empty and unlabelled it is reused (so a Label directly after a
+// terminator does not create an empty block).
+func (b *Builder) Label(name string) *Builder {
+	if b.cur == nil {
+		b.errs = append(b.errs, fmt.Errorf("Label %q: no current procedure", name))
+		return b
+	}
+	cb := b.cur.curBlock
+	if cb != nil && len(cb.Insts) == 0 && cb.Label == "" {
+		cb.Label = name
+		if _, dup := b.cur.labels[name]; dup {
+			b.errs = append(b.errs, fmt.Errorf("proc %q: duplicate label %q", b.cur.proc.Name, name))
+		}
+		b.cur.labels[name] = cb.ID
+		return b
+	}
+	b.startBlock(name)
+	return b
+}
+
+// Emit appends a raw instruction, handling block termination.
+func (b *Builder) Emit(in Inst) *Builder {
+	if b.cur == nil {
+		b.errs = append(b.errs, fmt.Errorf("Emit %s: no current procedure", in.Op))
+		return b
+	}
+	if b.cur.curBlock == nil {
+		b.startBlock("")
+	}
+	b.cur.curBlock.Insts = append(b.cur.curBlock.Insts, in)
+	if in.Terminates() {
+		b.startBlock("")
+	}
+	return b
+}
+
+func (b *Builder) emit3(op isa.Op, dst, s1, s2 isa.Reg) *Builder {
+	in := NewInst(op)
+	in.Dst, in.Src1, in.Src2 = dst, s1, s2
+	return b.Emit(in)
+}
+
+func (b *Builder) emitImm(op isa.Op, dst, s1 isa.Reg, imm int64) *Builder {
+	in := NewInst(op)
+	in.Dst, in.Src1, in.Imm = dst, s1, imm
+	return b.Emit(in)
+}
+
+// Li emits dst = imm.
+func (b *Builder) Li(dst isa.Reg, imm int64) *Builder {
+	return b.emitImm(isa.Li, dst, isa.RegNone, imm)
+}
+
+// Mov emits dst = src.
+func (b *Builder) Mov(dst, src isa.Reg) *Builder { return b.emit3(isa.Mov, dst, src, isa.RegNone) }
+
+// Add emits dst = a + b2.
+func (b *Builder) Add(dst, a, b2 isa.Reg) *Builder { return b.emit3(isa.Add, dst, a, b2) }
+
+// Sub emits dst = a - b2.
+func (b *Builder) Sub(dst, a, b2 isa.Reg) *Builder { return b.emit3(isa.Sub, dst, a, b2) }
+
+// And emits dst = a & b2.
+func (b *Builder) And(dst, a, b2 isa.Reg) *Builder { return b.emit3(isa.And, dst, a, b2) }
+
+// Or emits dst = a | b2.
+func (b *Builder) Or(dst, a, b2 isa.Reg) *Builder { return b.emit3(isa.Or, dst, a, b2) }
+
+// Xor emits dst = a ^ b2.
+func (b *Builder) Xor(dst, a, b2 isa.Reg) *Builder { return b.emit3(isa.Xor, dst, a, b2) }
+
+// Shl emits dst = a << b2.
+func (b *Builder) Shl(dst, a, b2 isa.Reg) *Builder { return b.emit3(isa.Shl, dst, a, b2) }
+
+// Shr emits dst = a >> b2.
+func (b *Builder) Shr(dst, a, b2 isa.Reg) *Builder { return b.emit3(isa.Shr, dst, a, b2) }
+
+// Slt emits dst = (a < b2).
+func (b *Builder) Slt(dst, a, b2 isa.Reg) *Builder { return b.emit3(isa.Slt, dst, a, b2) }
+
+// Mul emits dst = a * b2.
+func (b *Builder) Mul(dst, a, b2 isa.Reg) *Builder { return b.emit3(isa.Mul, dst, a, b2) }
+
+// Div emits dst = a / b2.
+func (b *Builder) Div(dst, a, b2 isa.Reg) *Builder { return b.emit3(isa.Div, dst, a, b2) }
+
+// Rem emits dst = a % b2.
+func (b *Builder) Rem(dst, a, b2 isa.Reg) *Builder { return b.emit3(isa.Rem, dst, a, b2) }
+
+// Addi emits dst = a + imm.
+func (b *Builder) Addi(dst, a isa.Reg, imm int64) *Builder { return b.emitImm(isa.Addi, dst, a, imm) }
+
+// Andi emits dst = a & imm.
+func (b *Builder) Andi(dst, a isa.Reg, imm int64) *Builder { return b.emitImm(isa.Andi, dst, a, imm) }
+
+// Xori emits dst = a ^ imm.
+func (b *Builder) Xori(dst, a isa.Reg, imm int64) *Builder { return b.emitImm(isa.Xori, dst, a, imm) }
+
+// Shli emits dst = a << imm.
+func (b *Builder) Shli(dst, a isa.Reg, imm int64) *Builder { return b.emitImm(isa.Shli, dst, a, imm) }
+
+// Shri emits dst = a >> imm.
+func (b *Builder) Shri(dst, a isa.Reg, imm int64) *Builder { return b.emitImm(isa.Shri, dst, a, imm) }
+
+// Slti emits dst = (a < imm).
+func (b *Builder) Slti(dst, a isa.Reg, imm int64) *Builder { return b.emitImm(isa.Slti, dst, a, imm) }
+
+// Muli emits dst = a * imm.
+func (b *Builder) Muli(dst, a isa.Reg, imm int64) *Builder { return b.emitImm(isa.Muli, dst, a, imm) }
+
+// FAdd emits dst = a + b2 (fp).
+func (b *Builder) FAdd(dst, a, b2 isa.Reg) *Builder { return b.emit3(isa.FAdd, dst, a, b2) }
+
+// FSub emits dst = a - b2 (fp).
+func (b *Builder) FSub(dst, a, b2 isa.Reg) *Builder { return b.emit3(isa.FSub, dst, a, b2) }
+
+// FMul emits dst = a * b2 (fp).
+func (b *Builder) FMul(dst, a, b2 isa.Reg) *Builder { return b.emit3(isa.FMul, dst, a, b2) }
+
+// FDiv emits dst = a / b2 (fp).
+func (b *Builder) FDiv(dst, a, b2 isa.Reg) *Builder { return b.emit3(isa.FDiv, dst, a, b2) }
+
+// ItoF emits dst(fp) = float(a).
+func (b *Builder) ItoF(dst, a isa.Reg) *Builder { return b.emit3(isa.ItoF, dst, a, isa.RegNone) }
+
+// FtoI emits dst(int) = int(a).
+func (b *Builder) FtoI(dst, a isa.Reg) *Builder { return b.emit3(isa.FtoI, dst, a, isa.RegNone) }
+
+// Ld emits dst = mem[base+off].
+func (b *Builder) Ld(dst, base isa.Reg, off int64) *Builder { return b.emitImm(isa.Ld, dst, base, off) }
+
+// LdF emits dst(fp) = mem[base+off].
+func (b *Builder) LdF(dst, base isa.Reg, off int64) *Builder {
+	return b.emitImm(isa.LdF, dst, base, off)
+}
+
+// St emits mem[base+off] = val.
+func (b *Builder) St(val, base isa.Reg, off int64) *Builder {
+	in := NewInst(isa.St)
+	in.Src1, in.Src2, in.Imm = base, val, off
+	return b.Emit(in)
+}
+
+// StF emits mem[base+off] = val (fp).
+func (b *Builder) StF(val, base isa.Reg, off int64) *Builder {
+	in := NewInst(isa.StF)
+	in.Src1, in.Src2, in.Imm = base, val, off
+	return b.Emit(in)
+}
+
+// Nop emits a plain NOOP.
+func (b *Builder) Nop() *Builder { return b.Emit(NewInst(isa.Nop)) }
+
+// Hint emits a special hint NOOP carrying a max_new_range value.
+func (b *Builder) Hint(entries int) *Builder {
+	in := NewInst(isa.HintNop)
+	in.Imm = int64(entries)
+	in.Hint = entries
+	return b.Emit(in)
+}
+
+func (b *Builder) branch(op isa.Op, a, b2 isa.Reg, label string) *Builder {
+	if b.cur == nil {
+		b.errs = append(b.errs, fmt.Errorf("branch: no current procedure"))
+		return b
+	}
+	in := NewInst(op)
+	in.Src1, in.Src2 = a, b2
+	pb := b.cur
+	blk := pb.curBlock
+	pb.fixups = append(pb.fixups, fixup{blk.ID, len(blk.Insts), label})
+	return b.Emit(in)
+}
+
+// Beq emits: if a == b2 goto label.
+func (b *Builder) Beq(a, b2 isa.Reg, label string) *Builder { return b.branch(isa.Beq, a, b2, label) }
+
+// Bne emits: if a != b2 goto label.
+func (b *Builder) Bne(a, b2 isa.Reg, label string) *Builder { return b.branch(isa.Bne, a, b2, label) }
+
+// Blt emits: if a < b2 goto label.
+func (b *Builder) Blt(a, b2 isa.Reg, label string) *Builder { return b.branch(isa.Blt, a, b2, label) }
+
+// Bge emits: if a >= b2 goto label.
+func (b *Builder) Bge(a, b2 isa.Reg, label string) *Builder { return b.branch(isa.Bge, a, b2, label) }
+
+// Jmp emits an unconditional jump to label.
+func (b *Builder) Jmp(label string) *Builder {
+	return b.branch(isa.Jmp, isa.RegNone, isa.RegNone, label)
+}
+
+// Call emits a call to the named procedure (resolved at Build).
+func (b *Builder) Call(name string) *Builder { return b.callOp(isa.Call, name) }
+
+// CallLib emits a call marked as a library call.
+func (b *Builder) CallLib(name string) *Builder { return b.callOp(isa.CallLib, name) }
+
+func (b *Builder) callOp(op isa.Op, name string) *Builder {
+	if b.cur == nil {
+		b.errs = append(b.errs, fmt.Errorf("call %q: no current procedure", name))
+		return b
+	}
+	in := NewInst(op)
+	pb := b.cur
+	blk := pb.curBlock
+	pb.callSites = append(pb.callSites, callSite{blk.ID, len(blk.Insts), name})
+	return b.Emit(in)
+}
+
+// Ret emits a return.
+func (b *Builder) Ret() *Builder { return b.Emit(NewInst(isa.Ret)) }
+
+// Halt emits program termination.
+func (b *Builder) Halt() *Builder { return b.Emit(NewInst(isa.Halt)) }
+
+// Build resolves labels and call targets, links the program, and returns
+// it. It fails if any label or procedure name is unresolved or any IR
+// invariant is violated.
+func (b *Builder) Build() (*Program, error) {
+	b.finishProc()
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	// Install procedures, then resolve names.
+	for _, pb := range b.pending {
+		b.prog.AddProc(pb.proc)
+	}
+	byName := map[string]int{}
+	for _, pr := range b.prog.Procs {
+		if _, dup := byName[pr.Name]; dup {
+			return nil, fmt.Errorf("duplicate procedure %q", pr.Name)
+		}
+		byName[pr.Name] = pr.ID
+	}
+	for _, pb := range b.pending {
+		for _, f := range pb.fixups {
+			tgt, ok := pb.labels[f.label]
+			if !ok {
+				return nil, fmt.Errorf("proc %q: undefined label %q", pb.proc.Name, f.label)
+			}
+			pb.proc.Blocks[f.block].Insts[f.inst].Target = tgt
+		}
+		for _, c := range pb.callSites {
+			tgt, ok := byName[c.name]
+			if !ok {
+				return nil, fmt.Errorf("proc %q: call to undefined procedure %q", pb.proc.Name, c.name)
+			}
+			pb.proc.Blocks[c.block].Insts[c.inst].Target = tgt
+		}
+	}
+	if b.prog.Entry < 0 {
+		if main := b.prog.ProcByName("main"); main != nil {
+			b.prog.Entry = main.ID
+		} else {
+			b.prog.Entry = 0
+		}
+	}
+	if err := b.prog.Link(); err != nil {
+		return nil, err
+	}
+	return b.prog, nil
+}
+
+// MustBuild is Build that panics on error; for tests and generators whose
+// input is program-controlled.
+func (b *Builder) MustBuild() *Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -1,0 +1,107 @@
+package prog
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// TestGoldenSampleParses pins the sdasm grammar: the checked-in sample
+// exercises every construct and must keep parsing as the format evolves.
+func TestGoldenSampleParses(t *testing.T) {
+	f, err := os.Open(filepath.Join("testdata", "sample.sdasm"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	p, err := ParseAsm(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "sample" {
+		t.Errorf("name = %q", p.Name)
+	}
+	if len(p.Procs) != 3 {
+		t.Fatalf("procs = %d, want 3", len(p.Procs))
+	}
+	if p.Procs[p.Entry].Name != "main" {
+		t.Errorf("entry = %q", p.Procs[p.Entry].Name)
+	}
+	lib := p.ProcByName("libfn")
+	if lib == nil || !lib.IsLib {
+		t.Error("libfn must be a library procedure")
+	}
+	// Data: 3 words + 8 zeros + 1 word.
+	if len(p.Data) != 12 || p.Data[1] != -7 || p.Data[11] != 1 {
+		t.Errorf("data = %v", p.Data)
+	}
+	// The hint NOOP and the !iq tag both survive.
+	main := p.Procs[p.Entry]
+	if main.Blocks[0].Insts[0].Op != isa.HintNop {
+		t.Error("leading hint lost")
+	}
+	foundTag := false
+	for _, blk := range main.Blocks {
+		for i := range blk.Insts {
+			if blk.Insts[i].Op == isa.Addi && blk.Insts[i].Hint == 12 {
+				foundTag = true
+			}
+		}
+	}
+	if !foundTag {
+		t.Error("!iq tag lost")
+	}
+	// calllib resolved to the lib proc.
+	foundLibCall := false
+	for _, blk := range main.Blocks {
+		if last := blk.Last(); last != nil && last.Op == isa.CallLib {
+			foundLibCall = true
+			if p.Procs[last.Target] != lib {
+				t.Error("calllib target wrong")
+			}
+		}
+	}
+	if !foundLibCall {
+		t.Error("calllib lost")
+	}
+}
+
+// TestGoldenSampleRoundTrips: write-out of the parsed sample must parse
+// back to an identical structure (full format round trip on a file that
+// exercises everything).
+func TestGoldenSampleRoundTrips(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("testdata", "sample.sdasm"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := ParseAsm(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteAsm(&buf, p1); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := ParseAsm(&buf)
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, buf.String())
+	}
+	if p1.NumInsts() != p2.NumInsts() || len(p1.Procs) != len(p2.Procs) {
+		t.Fatal("round trip changed structure")
+	}
+	for pi := range p1.Procs {
+		for bi := range p1.Procs[pi].Blocks {
+			b1, b2 := p1.Procs[pi].Blocks[bi], p2.Procs[pi].Blocks[bi]
+			for ii := range b1.Insts {
+				a, b := b1.Insts[ii], b2.Insts[ii]
+				if a.Op != b.Op || a.Dst != b.Dst || a.Src1 != b.Src1 ||
+					a.Src2 != b.Src2 || a.Imm != b.Imm || a.Target != b.Target || a.Hint != b.Hint {
+					t.Fatalf("proc %d block %d inst %d differs: %v vs %v", pi, bi, ii, a, b)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,287 @@
+package prog
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// buildCountdown builds a tiny two-proc program used by several tests:
+// main initialises r1 and loops calling helper until r1 reaches zero.
+func buildCountdown(t *testing.T) *Program {
+	t.Helper()
+	b := NewBuilder("countdown")
+	b.Proc("main").Entry().
+		Li(isa.R(1), 10).
+		Li(isa.R(2), 0).
+		Label("loop").
+		Call("helper").
+		Addi(isa.R(1), isa.R(1), -1).
+		Bne(isa.R(1), isa.R(2), "loop").
+		Halt()
+	b.Proc("helper").
+		Addi(isa.R(3), isa.R(3), 1).
+		Ret()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return p
+}
+
+func TestBuilderBasicStructure(t *testing.T) {
+	p := buildCountdown(t)
+	if len(p.Procs) != 2 {
+		t.Fatalf("procs = %d, want 2", len(p.Procs))
+	}
+	main := p.Procs[p.Entry]
+	if main.Name != "main" {
+		t.Fatalf("entry proc = %q, want main", main.Name)
+	}
+	// Blocks: [li;li] [call] [addi;bne] [halt].
+	if got := len(main.Blocks); got != 4 {
+		for _, blk := range main.Blocks {
+			t.Logf("block %d label=%q insts=%d", blk.ID, blk.Label, len(blk.Insts))
+		}
+		t.Fatalf("main blocks = %d, want 4", got)
+	}
+	if main.Blocks[1].Last().Op != isa.Call {
+		t.Errorf("block 1 must end in call, got %v", main.Blocks[1].Last().Op)
+	}
+	// Call must terminate its block (paper section 4.1 requires DAG
+	// boundaries at calls).
+	if len(main.Blocks[1].Insts) != 1 {
+		t.Errorf("call block has %d insts, want 1", len(main.Blocks[1].Insts))
+	}
+}
+
+func TestLinkEdges(t *testing.T) {
+	p := buildCountdown(t)
+	main := p.Procs[p.Entry]
+	// Block 2 ends with bne -> loop header (block 1) and fallthrough (3).
+	b2 := main.Blocks[2]
+	if len(b2.Succs) != 2 || b2.Succs[0] != 1 || b2.Succs[1] != 3 {
+		t.Errorf("bne succs = %v, want [1 3]", b2.Succs)
+	}
+	// Loop header preds: entry block and the branch block.
+	b1 := main.Blocks[1]
+	if len(b1.Preds) != 2 {
+		t.Errorf("loop header preds = %v, want 2 entries", b1.Preds)
+	}
+	// PCs strictly increase by 4 across the program.
+	prev := -isa.InstBytes
+	for _, pr := range p.Procs {
+		for _, blk := range pr.Blocks {
+			for i := range blk.Insts {
+				if blk.Insts[i].PC != prev+isa.InstBytes {
+					t.Fatalf("PC %d after %d", blk.Insts[i].PC, prev)
+				}
+				prev = blk.Insts[i].PC
+			}
+		}
+	}
+}
+
+func TestLinkRejectsMidBlockTerminator(t *testing.T) {
+	p := New("bad")
+	pr := &Proc{Name: "main"}
+	blk := &Block{}
+	ret := NewInst(isa.Ret)
+	add := NewInst(isa.Add)
+	add.Dst, add.Src1, add.Src2 = isa.R(1), isa.R(2), isa.R(3)
+	blk.Insts = []Inst{ret, add}
+	pr.Blocks = []*Block{blk}
+	p.AddProc(pr)
+	p.Entry = 0
+	if err := p.Link(); err == nil {
+		t.Fatal("Link accepted a mid-block terminator")
+	}
+}
+
+func TestLinkRejectsFallOffEnd(t *testing.T) {
+	p := New("bad")
+	pr := &Proc{Name: "main"}
+	add := NewInst(isa.Add)
+	add.Dst, add.Src1, add.Src2 = isa.R(1), isa.R(2), isa.R(3)
+	pr.Blocks = []*Block{{Insts: []Inst{add}}}
+	p.AddProc(pr)
+	p.Entry = 0
+	if err := p.Link(); err == nil {
+		t.Fatal("Link accepted a block falling off the procedure end")
+	}
+}
+
+func TestBuilderUndefinedLabel(t *testing.T) {
+	b := NewBuilder("x")
+	b.Proc("main").Jmp("nowhere").Halt()
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "nowhere") {
+		t.Fatalf("Build err = %v, want undefined label", err)
+	}
+}
+
+func TestBuilderUndefinedCall(t *testing.T) {
+	b := NewBuilder("x")
+	b.Proc("main").Call("ghost").Halt()
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "ghost") {
+		t.Fatalf("Build err = %v, want undefined procedure", err)
+	}
+}
+
+func TestBuilderDuplicateProc(t *testing.T) {
+	b := NewBuilder("x")
+	b.Proc("main").Halt()
+	b.Proc("main").Halt()
+	if _, err := b.Build(); err == nil {
+		t.Fatal("Build accepted duplicate procedure names")
+	}
+}
+
+func TestBuilderDuplicateLabel(t *testing.T) {
+	b := NewBuilder("x")
+	b.Proc("main").Label("a").Nop().Label("a").Halt()
+	if _, err := b.Build(); err == nil {
+		t.Fatal("Build accepted duplicate labels")
+	}
+}
+
+func TestSourcesSkipZeroRegister(t *testing.T) {
+	in := NewInst(isa.Add)
+	in.Dst, in.Src1, in.Src2 = isa.R(1), isa.RZero, isa.R(2)
+	srcs := in.Sources()
+	if len(srcs) != 1 || srcs[0] != isa.R(2) {
+		t.Errorf("Sources = %v, want [r2]", srcs)
+	}
+	in.Dst = isa.RZero
+	if in.HasDst() {
+		t.Error("write to r0 must report no destination")
+	}
+}
+
+func TestDataSegment(t *testing.T) {
+	b := NewBuilder("d")
+	addr0 := b.AppendData(1, 2, 3)
+	addr1 := b.AppendData(9)
+	if addr0 != DefaultDataBase {
+		t.Errorf("first append at %#x, want %#x", addr0, DefaultDataBase)
+	}
+	if addr1 != DefaultDataBase+24 {
+		t.Errorf("second append at %#x, want %#x", addr1, DefaultDataBase+24)
+	}
+	b.Proc("main").Halt()
+	p := b.MustBuild()
+	if len(p.Data) != 4 || p.Data[3] != 9 {
+		t.Errorf("data = %v", p.Data)
+	}
+}
+
+func TestAsmRoundTrip(t *testing.T) {
+	p := buildCountdown(t)
+	p.Data = []int64{5, 0, 0, 0, 0, 0, 7}
+	var buf bytes.Buffer
+	if err := WriteAsm(&buf, p); err != nil {
+		t.Fatalf("WriteAsm: %v", err)
+	}
+	q, err := ParseAsm(&buf)
+	if err != nil {
+		t.Fatalf("ParseAsm: %v\n%s", err, buf.String())
+	}
+	if q.NumInsts() != p.NumInsts() {
+		t.Fatalf("round trip insts %d != %d", q.NumInsts(), p.NumInsts())
+	}
+	if len(q.Procs) != len(p.Procs) || q.Entry != p.Entry {
+		t.Fatalf("round trip procs/entry mismatch")
+	}
+	for pi, pr := range p.Procs {
+		qr := q.Procs[pi]
+		if len(qr.Blocks) != len(pr.Blocks) {
+			t.Fatalf("proc %s: blocks %d != %d", pr.Name, len(qr.Blocks), len(pr.Blocks))
+		}
+		for bi, blk := range pr.Blocks {
+			qb := qr.Blocks[bi]
+			if len(qb.Insts) != len(blk.Insts) {
+				t.Fatalf("proc %s block %d: insts %d != %d", pr.Name, bi, len(qb.Insts), len(blk.Insts))
+			}
+			for ii := range blk.Insts {
+				a, bb := blk.Insts[ii], qb.Insts[ii]
+				if a.Op != bb.Op || a.Dst != bb.Dst || a.Src1 != bb.Src1 ||
+					a.Src2 != bb.Src2 || a.Imm != bb.Imm || a.Target != bb.Target {
+					t.Errorf("proc %s block %d inst %d: %v != %v", pr.Name, bi, ii, a.String(), bb.String())
+				}
+			}
+		}
+	}
+	if len(q.Data) != len(p.Data) {
+		t.Fatalf("data round trip: %d != %d words", len(q.Data), len(p.Data))
+	}
+	for i := range p.Data {
+		if q.Data[i] != p.Data[i] {
+			t.Fatalf("data[%d] = %d != %d", i, q.Data[i], p.Data[i])
+		}
+	}
+}
+
+func TestAsmParsesHintsAndTags(t *testing.T) {
+	src := `
+program t
+proc main entry
+  hint 12
+  li r1, 5
+  add r2, r1, r1 !iq=7
+  st r2, 8(r1)
+  ld r3, 8(r1)
+  halt
+endproc
+`
+	p, err := ParseAsm(strings.NewReader(src))
+	if err != nil {
+		t.Fatalf("ParseAsm: %v", err)
+	}
+	insts := p.Procs[0].Blocks[0].Insts
+	if insts[0].Op != isa.HintNop || insts[0].Imm != 12 {
+		t.Errorf("hint parsed as %v imm=%d", insts[0].Op, insts[0].Imm)
+	}
+	if insts[2].Hint != 7 {
+		t.Errorf("tag parsed as %d, want 7", insts[2].Hint)
+	}
+	if insts[3].Op != isa.St || insts[3].Src2 != isa.R(2) || insts[3].Src1 != isa.R(1) || insts[3].Imm != 8 {
+		t.Errorf("store parsed wrong: %+v", insts[3])
+	}
+	if insts[4].Op != isa.Ld || insts[4].Dst != isa.R(3) {
+		t.Errorf("load parsed wrong: %+v", insts[4])
+	}
+}
+
+func TestAsmErrors(t *testing.T) {
+	cases := []string{
+		"proc main entry\n  bogus r1, r2\nendproc",
+		"proc main entry\n  jmp nowhere\nendproc",
+		"li r1, 5",
+		"proc main entry\n  ld r1, r2\nendproc",
+		"proc main weird\n  halt\nendproc",
+	}
+	for _, src := range cases {
+		if _, err := ParseAsm(strings.NewReader(src)); err == nil {
+			t.Errorf("ParseAsm accepted bad input %q", src)
+		}
+	}
+}
+
+func TestInstStringForms(t *testing.T) {
+	in := NewInst(isa.HintNop)
+	in.Imm = 9
+	if got := in.String(); got != "hint 9" {
+		t.Errorf("hint string = %q", got)
+	}
+	ld := NewInst(isa.Ld)
+	ld.Dst, ld.Src1, ld.Imm = isa.R(3), isa.R(4), 16
+	if got := ld.String(); got != "ld r3, 16(r4)" {
+		t.Errorf("ld string = %q", got)
+	}
+	st := NewInst(isa.St)
+	st.Src1, st.Src2, st.Imm = isa.R(4), isa.R(3), 0
+	if got := st.String(); got != "st r3, 0(r4)" {
+		t.Errorf("st string = %q", got)
+	}
+}

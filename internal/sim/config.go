@@ -1,0 +1,136 @@
+// Package sim is the cycle-level out-of-order superscalar timing model —
+// the reproduction's equivalent of SimpleScalar's sim-outorder extended
+// with the paper's issue-queue mechanisms. It consumes the committed-path
+// dynamic instruction stream from the functional emulator and models
+// fetch (with branch prediction and I-cache), a decoupled fetch/decode
+// queue, rename, dispatch into the banked issue queue, wakeup/select
+// issue, functional-unit execution with variable-latency loads, writeback
+// broadcast, and in-order commit from a reorder buffer.
+package sim
+
+import (
+	"repro/internal/adaptive"
+	"repro/internal/bpred"
+	"repro/internal/cache"
+	"repro/internal/iq"
+	"repro/internal/isa"
+	"repro/internal/regfile"
+)
+
+// ControlMode selects who controls the issue-queue size.
+type ControlMode int
+
+// Control modes.
+const (
+	// ControlNone: the 80-entry queue runs unconstrained (baseline).
+	ControlNone ControlMode = iota
+	// ControlHints: compiler hints (NOOPs or tags) set max_new_range
+	// (the paper's technique).
+	ControlHints
+	// ControlAdaptive: a hardware controller resizes the queue at bank
+	// granularity (the abella baseline); see AdaptiveConfig.
+	ControlAdaptive
+)
+
+// Config is the full processor configuration (paper table 1 defaults).
+type Config struct {
+	FetchWidth    int
+	DispatchWidth int
+	IssueWidth    int
+	CommitWidth   int
+
+	FetchQueueSize int
+	DecodeStages   int // cycles an instruction spends decoding
+
+	ROBSize int
+	LSQSize int
+
+	IQ       iq.Config
+	IntRF    regfile.Config
+	FPRF     regfile.Config
+	Caches   cache.HierarchyConfig
+	Bpred    bpred.Config
+	FU       FUConfig
+	MemPorts int
+
+	Control  ControlMode
+	Adaptive adaptive.Config
+
+	// MaxInsts stops the run after this many committed real (non-NOOP)
+	// instructions; 0 = run until the stream ends.
+	MaxInsts int64
+	// MaxCycles is a safety stop (0 = none).
+	MaxCycles int64
+
+	// Probe, when non-nil, receives a sample every cycle — the hook the
+	// inspection tools use for occupancy histograms and time series.
+	Probe Probe
+}
+
+// Probe observes per-cycle machine state. Implementations must be cheap;
+// they run inside the simulation loop.
+type Probe interface {
+	Sample(cycle int64, s ProbeSample)
+}
+
+// ProbeSample is one cycle's observable state.
+type ProbeSample struct {
+	IQCount     int // valid issue-queue entries
+	IQBanksOn   int
+	MaxNewRange int // current hint (0 = uncontrolled)
+	IntRFLive   int
+	ROBCount    int
+	FetchQueue  int
+}
+
+// FUConfig gives the number of units per class. All units are fully
+// pipelined; latencies come from isa.Op.Latency plus the cache model for
+// loads.
+type FUConfig struct {
+	IntALU   int // also executes branches, jumps, calls, returns
+	IntMul   int
+	FPALU    int
+	FPMulDiv int
+}
+
+// DefaultConfig is the paper's table 1 processor.
+func DefaultConfig() Config {
+	return Config{
+		FetchWidth:     8,
+		DispatchWidth:  8,
+		IssueWidth:     8,
+		CommitWidth:    8,
+		FetchQueueSize: 32,
+		DecodeStages:   3,
+		ROBSize:        128,
+		LSQSize:        64,
+		IQ:             iq.DefaultConfig(),
+		IntRF:          regfile.DefaultConfig(),
+		FPRF:           regfile.DefaultConfig(),
+		Caches:         cache.DefaultHierarchyConfig(),
+		Bpred:          bpred.DefaultConfig(),
+		FU:             FUConfig{IntALU: 6, IntMul: 3, FPALU: 4, FPMulDiv: 2},
+		MemPorts:       2,
+		Control:        ControlNone,
+		Adaptive:       adaptive.DefaultConfig(),
+	}
+}
+
+// unitsFor returns how many units serve a class.
+func (f *FUConfig) unitsFor(c isa.Class) int {
+	switch c {
+	case isa.ClassIntALU, isa.ClassBranch, isa.ClassCtrl:
+		return f.IntALU
+	case isa.ClassIntMul:
+		return f.IntMul
+	case isa.ClassFPALU:
+		return f.FPALU
+	case isa.ClassFPMulDiv:
+		return f.FPMulDiv
+	case isa.ClassLoad, isa.ClassStore:
+		// memory ops are limited by MemPorts, handled separately
+		return 1 << 30
+	default:
+		return 1 << 30
+	}
+}

@@ -1,0 +1,122 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/prog"
+)
+
+// TestReturnAddressPredictionAccuracy: deeply alternating call/return
+// patterns must be predicted by the RAS, not mispredicted.
+func TestReturnAddressPredictionAccuracy(t *testing.T) {
+	b := prog.NewBuilder("calls")
+	b.Proc("main").Entry().
+		Li(isa.R(1), 1<<30).
+		Label("loop").
+		Call("a").
+		Call("b").
+		Addi(isa.R(1), isa.R(1), -1).
+		Bne(isa.R(1), isa.RZero, "loop").
+		Halt()
+	b.Proc("a").
+		Addi(isa.R(2), isa.R(2), 1).
+		Call("c").
+		Ret()
+	b.Proc("b").
+		Addi(isa.R(3), isa.R(3), 1).
+		Ret()
+	b.Proc("c").
+		Addi(isa.R(4), isa.R(4), 1).
+		Ret()
+	st := run(t, DefaultConfig(), b.MustBuild(), 30_000)
+	if st.Bpred.RASReturns == 0 {
+		t.Fatal("no returns predicted")
+	}
+	if rate := float64(st.Bpred.RASMispredict) / float64(st.Bpred.RASReturns); rate > 0.01 {
+		t.Errorf("RAS mispredict rate %.3f, want ~0 for nested non-recursive calls", rate)
+	}
+}
+
+// TestDeepRecursionOverflowsRAS: recursion deeper than the 16-entry RAS
+// must cause return mispredicts but still execute correctly.
+func TestDeepRecursionOverflowsRAS(t *testing.T) {
+	b := prog.NewBuilder("recurse")
+	b.Proc("main").Entry().
+		Li(isa.R(1), 1<<30).
+		Label("loop").
+		Li(isa.R(2), 40). // recursion depth > RAS 16
+		Call("down").
+		Addi(isa.R(1), isa.R(1), -1).
+		Bne(isa.R(1), isa.RZero, "loop").
+		Halt()
+	b.Proc("down").
+		Addi(isa.R(2), isa.R(2), -1).
+		Beq(isa.R(2), isa.RZero, "out").
+		Call("down").
+		Label("out").
+		Addi(isa.R(3), isa.R(3), 1).
+		Ret()
+	st := run(t, DefaultConfig(), b.MustBuild(), 30_000)
+	if st.Bpred.RASMispredict == 0 {
+		t.Error("40-deep recursion must overflow the 16-entry RAS")
+	}
+	if st.CommittedReal != 30_000 {
+		t.Errorf("committed %d, want full budget", st.CommittedReal)
+	}
+}
+
+// TestROBWrapsManyTimes: a long run must cycle the ROB ring repeatedly
+// without index corruption (committed count exact, no stalls beyond the
+// expected ones).
+func TestROBWrapsManyTimes(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ROBSize = 16 // small ring wraps thousands of times
+	st := run(t, cfg, independentALUProgram(), 50_000)
+	if st.CommittedReal != 50_000 {
+		t.Errorf("committed %d, want 50000", st.CommittedReal)
+	}
+	if st.IPC() <= 0.5 {
+		t.Errorf("IPC %.2f suspiciously low for a 16-entry ROB on ALU code", st.IPC())
+	}
+}
+
+// TestFetchQueueSizeLimitsRun: a tiny fetch queue throttles supply.
+func TestFetchQueueSizeLimitsRun(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.FetchQueueSize = 4
+	small := run(t, cfg, independentALUProgram(), 30_000)
+	full := run(t, DefaultConfig(), independentALUProgram(), 30_000)
+	if small.IPC() >= full.IPC() {
+		t.Errorf("4-entry fetch queue IPC %.2f not below 32-entry %.2f", small.IPC(), full.IPC())
+	}
+}
+
+// TestProbeReceivesSamples: the per-cycle probe hook must fire every
+// cycle with sane values.
+func TestProbeReceivesSamples(t *testing.T) {
+	var samples int64
+	var maxIQ int
+	probe := probeFunc(func(cycle int64, s ProbeSample) {
+		samples++
+		if s.IQCount > maxIQ {
+			maxIQ = s.IQCount
+		}
+		if s.IQCount < 0 || s.IQCount > 80 || s.ROBCount < 0 || s.ROBCount > 128 {
+			t.Fatalf("cycle %d: insane sample %+v", cycle, s)
+		}
+	})
+	cfg := DefaultConfig()
+	cfg.Probe = probe
+	st := run(t, cfg, dependentChainProgram(), 10_000)
+	if samples != st.Cycles {
+		t.Errorf("samples %d != cycles %d", samples, st.Cycles)
+	}
+	if maxIQ == 0 {
+		t.Error("probe never saw a non-empty issue queue")
+	}
+}
+
+type probeFunc func(int64, ProbeSample)
+
+func (f probeFunc) Sample(c int64, s ProbeSample) { f(c, s) }

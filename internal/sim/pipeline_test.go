@@ -1,0 +1,238 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/prog"
+)
+
+// TestPhysRegExhaustionStalls: with a tiny physical register file the
+// renamer must stall dispatch rather than deadlock or misrename.
+func TestPhysRegExhaustionStalls(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.IntRF.Regs = 40 // 32 arch + 8 spare
+	cfg.IntRF.BankSize = 8
+	st := run(t, cfg, independentALUProgram(), 20_000)
+	if st.StallNoPhysReg == 0 {
+		t.Error("expected rename stalls with 8 spare registers")
+	}
+	if st.CommittedReal != 20_000 {
+		t.Errorf("committed %d, want full budget despite stalls", st.CommittedReal)
+	}
+	base := run(t, DefaultConfig(), independentALUProgram(), 20_000)
+	if st.IPC() >= base.IPC() {
+		t.Errorf("tiny PRF IPC %.2f must be below full PRF %.2f", st.IPC(), base.IPC())
+	}
+}
+
+// TestLSQCapacityStalls: a tiny LSQ must throttle memory-dense code.
+func TestLSQCapacityStalls(t *testing.T) {
+	b := prog.NewBuilder("memdense")
+	pb := b.Proc("main").Entry().
+		Li(isa.R(1), 1<<30).
+		Li(isa.R(2), 0x10000).
+		Label("loop")
+	for i := 0; i < 12; i++ {
+		pb.Ld(isa.R(3+i%8), isa.R(2), int64(8*i))
+	}
+	pb.Addi(isa.R(1), isa.R(1), -1).
+		Bne(isa.R(1), isa.RZero, "loop").
+		Halt()
+	p := pb.MustBuild()
+	cfg := DefaultConfig()
+	cfg.LSQSize = 4
+	st := run(t, cfg, p, 20_000)
+	if st.StallLSQFull == 0 {
+		t.Error("expected LSQ-full stalls with a 4-entry LSQ")
+	}
+	base := run(t, DefaultConfig(), p, 20_000)
+	if st.IPC() >= base.IPC() {
+		t.Errorf("LSQ-4 IPC %.2f must be below LSQ-64 %.2f", st.IPC(), base.IPC())
+	}
+}
+
+// TestICacheColdMissesStallFetch: a program whose static footprint
+// exceeds the I-cache must show fetch-side misses and lower IPC than a
+// tiny-footprint equivalent doing the same work.
+func TestICacheColdMissesStallFetch(t *testing.T) {
+	big := func() *prog.Program {
+		b := prog.NewBuilder("bigcode")
+		pb := b.Proc("main").Entry().
+			Li(isa.R(1), 1<<30).
+			Label("loop")
+		// ~24k instructions of straight-line code: 96KB > 64KB L1I.
+		for i := 0; i < 24_000; i++ {
+			pb.Addi(isa.R(2+i%12), isa.R(2+i%12), 1)
+		}
+		pb.Addi(isa.R(1), isa.R(1), -1).
+			Bne(isa.R(1), isa.RZero, "loop").
+			Halt()
+		return pb.MustBuild()
+	}()
+	st := run(t, DefaultConfig(), big, 50_000)
+	if st.IL1.Misses == 0 {
+		t.Fatal("no I-cache misses on a 96KB loop")
+	}
+	if st.IL1.MissRate() < 0.01 {
+		t.Errorf("I-miss rate %.4f suspiciously low for a thrashing loop", st.IL1.MissRate())
+	}
+}
+
+// TestTagHintsApplyAtRuntime: Extension-style tags (no NOOPs) must set
+// max_new_range when the carrying instruction dispatches.
+func TestTagHintsApplyAtRuntime(t *testing.T) {
+	b := prog.NewBuilder("tagged")
+	pb := b.Proc("main").Entry().
+		Li(isa.R(1), 1<<30).
+		Label("loop")
+	for i := 0; i < 16; i++ {
+		pb.Addi(isa.R(2), isa.R(2), 1)
+	}
+	pb.Addi(isa.R(1), isa.R(1), -1).
+		Bne(isa.R(1), isa.RZero, "loop").
+		Halt()
+	p := pb.MustBuild()
+	// Tag the loop's first instruction by hand.
+	p.Procs[0].Blocks[1].Insts[0].Hint = 6
+	if err := p.Link(); err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Control = ControlHints
+	st := run(t, cfg, p, 30_000)
+	if st.HintsApplied == 0 {
+		t.Fatal("tag hints not applied")
+	}
+	if st.CommittedHints != 0 {
+		t.Error("tag mode must not consume NOOP dispatch slots")
+	}
+	base := run(t, DefaultConfig(), p, 30_000)
+	if st.AvgIQOccupancy() >= base.AvgIQOccupancy()*0.8 {
+		t.Errorf("tag hint did not shrink occupancy: %.1f vs %.1f",
+			st.AvgIQOccupancy(), base.AvgIQOccupancy())
+	}
+}
+
+// TestWakeupHierarchyOnRealWorkload: the gating accounting invariant
+// ungated >= nonEmpty >= gated must hold cycle-accumulated on real runs.
+func TestWakeupHierarchyOnRealWorkload(t *testing.T) {
+	st := run(t, DefaultConfig(), dependentChainProgram(), 30_000)
+	if st.IQ.UngatedWakeups < st.IQ.NonEmptyWakeups {
+		t.Errorf("ungated %d < nonEmpty %d", st.IQ.UngatedWakeups, st.IQ.NonEmptyWakeups)
+	}
+	if st.IQ.NonEmptyWakeups < st.IQ.GatedWakeups {
+		t.Errorf("nonEmpty %d < gated %d", st.IQ.NonEmptyWakeups, st.IQ.GatedWakeups)
+	}
+	if st.IQ.Woken > st.IQ.GatedWakeups {
+		t.Errorf("woken %d exceeds gated comparisons %d", st.IQ.Woken, st.IQ.GatedWakeups)
+	}
+	// Every instruction with a destination broadcasts exactly once.
+	if st.IQ.Broadcasts == 0 || st.IQ.Broadcasts > st.CommittedReal {
+		t.Errorf("broadcasts %d vs committed %d implausible", st.IQ.Broadcasts, st.CommittedReal)
+	}
+}
+
+// TestRegfileBankPacking: a serial chain fills the ROB and saturates the
+// register file in the baseline (the paper's motivation for the regfile
+// side effect); throttling dispatch with a hint must empty high banks,
+// which the lowest-first allocator keeps packed.
+func TestRegfileBankPacking(t *testing.T) {
+	base := run(t, DefaultConfig(), dependentChainProgram(), 30_000)
+	if on := base.AvgIntRFBanksOn(); on < 12 {
+		t.Errorf("baseline serial chain keeps %.1f banks live, want near all 14 (full ROB)", on)
+	}
+	// Same chain with a tight hint: in-flight population collapses.
+	b := prog.NewBuilder("chainhint2")
+	pb := b.Proc("main").Entry().
+		Li(isa.R(1), 1<<30).
+		Label("loop").
+		Hint(4)
+	for i := 0; i < 16; i++ {
+		pb.Addi(isa.R(2), isa.R(2), 1)
+	}
+	pb.Addi(isa.R(1), isa.R(1), -1).
+		Bne(isa.R(1), isa.RZero, "loop").
+		Halt()
+	cfg := DefaultConfig()
+	cfg.Control = ControlHints
+	hinted := run(t, cfg, pb.MustBuild(), 30_000)
+	if hinted.AvgIntRFBanksOn() > base.AvgIntRFBanksOn()-3 {
+		t.Errorf("hinted banks %.1f not clearly below baseline %.1f",
+			hinted.AvgIntRFBanksOn(), base.AvgIntRFBanksOn())
+	}
+	if hinted.AvgIntRFLive() >= base.AvgIntRFLive() {
+		t.Errorf("hinted live regs %.1f not below baseline %.1f",
+			hinted.AvgIntRFLive(), base.AvgIntRFLive())
+	}
+}
+
+// TestFPPipeline: floating-point code must flow through the FP units and
+// FP register file.
+func TestFPPipeline(t *testing.T) {
+	b := prog.NewBuilder("fp")
+	pb := b.Proc("main").Entry().
+		Li(isa.R(1), 1<<30).
+		Li(isa.R(2), 3).
+		ItoF(isa.FP(0), isa.R(2)).
+		Label("loop").
+		FMul(isa.FP(1), isa.FP(0), isa.FP(0)).
+		FAdd(isa.FP(2), isa.FP(1), isa.FP(0)).
+		FDiv(isa.FP(3), isa.FP(2), isa.FP(1)).
+		Addi(isa.R(1), isa.R(1), -1).
+		Bne(isa.R(1), isa.RZero, "loop").
+		Halt()
+	st := run(t, DefaultConfig(), pb.MustBuild(), 20_000)
+	if st.FPRF.Writes == 0 {
+		t.Error("no FP register writes")
+	}
+	if st.CommittedReal != 20_000 {
+		t.Errorf("committed %d", st.CommittedReal)
+	}
+}
+
+// TestHintStallAttribution: dispatch blocked by max_new_range must be
+// attributed to the hint, not the physical queue.
+func TestHintStallAttribution(t *testing.T) {
+	b := prog.NewBuilder("tight")
+	pb := b.Proc("main").Entry().
+		Li(isa.R(1), 1<<30).
+		Label("loop").
+		Hint(2)
+	for i := 0; i < 12; i++ {
+		pb.Muli(isa.R(2), isa.R(2), 3) // serial muls: drain slowly
+	}
+	pb.Addi(isa.R(1), isa.R(1), -1).
+		Bne(isa.R(1), isa.RZero, "loop").
+		Halt()
+	cfg := DefaultConfig()
+	cfg.Control = ControlHints
+	st := run(t, cfg, pb.MustBuild(), 10_000)
+	if st.StallHintLimit == 0 {
+		t.Error("expected hint-limit stalls with hint=2 over serial muls")
+	}
+	if st.StallIQFull > st.StallHintLimit {
+		t.Errorf("stalls attributed to IQ-full (%d) instead of hint (%d)",
+			st.StallIQFull, st.StallHintLimit)
+	}
+}
+
+// TestCommitWidthBoundsIPC: IPC can never exceed the commit width.
+func TestCommitWidthBoundsIPC(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.CommitWidth = 2
+	st := run(t, cfg, independentALUProgram(), 20_000)
+	if st.IPC() > 2.0001 {
+		t.Errorf("IPC %.3f exceeds commit width 2", st.IPC())
+	}
+}
+
+// TestMaxCyclesSafetyStop: a configured cycle cap must end the run.
+func TestMaxCyclesSafetyStop(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxCycles = 500
+	st := run(t, cfg, independentALUProgram(), 1_000_000)
+	if st.Cycles > 500 {
+		t.Errorf("cycles %d exceed MaxCycles 500", st.Cycles)
+	}
+}

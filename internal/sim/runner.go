@@ -1,0 +1,31 @@
+package sim
+
+import (
+	"repro/internal/emu"
+	"repro/internal/prog"
+)
+
+// RunProgram emulates a linked program and simulates its timing in one
+// call. With budget > 0 the emulator restarts the program as needed and
+// the run stops after budget committed real instructions (the paper's
+// fixed-instruction-window methodology); with budget == 0 the program
+// runs once to completion.
+func RunProgram(cfg Config, p *prog.Program, budget int64) (Stats, error) {
+	e, err := emu.New(p)
+	if err != nil {
+		return Stats{}, err
+	}
+	if budget > 0 {
+		e.Restart = true
+		cfg.MaxInsts = budget
+		if cfg.MaxCycles == 0 {
+			// Safety net: no sane run needs fewer than 0.05 IPC.
+			cfg.MaxCycles = budget * 20
+		}
+	}
+	core, err := New(cfg, e)
+	if err != nil {
+		return Stats{}, err
+	}
+	return core.Run(), nil
+}

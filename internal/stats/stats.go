@@ -1,0 +1,156 @@
+// Package stats provides the small statistical helpers the experiment
+// harness uses: means (arithmetic and geometric), dispersion, extrema,
+// and a fixed-bucket histogram for occupancy distributions. The paper
+// reports arithmetic means over benchmarks ("SPECINT" bars); geometric
+// means are provided for rate-like quantities (IPC ratios).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// GeoMean returns the geometric mean of positive values; non-positive
+// inputs yield 0.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}
+
+// StdDev returns the population standard deviation.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}
+
+// MinMax returns the extrema (0,0 for empty input).
+func MinMax(xs []float64) (min, max float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	min, max = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	return min, max
+}
+
+// Percentile returns the p-th percentile (0..100) by linear
+// interpolation on the sorted input.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	pos := p / 100 * float64(len(s)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(s) {
+		return s[lo]
+	}
+	return s[lo]*(1-frac) + s[lo+1]*frac
+}
+
+// Histogram accumulates values into equal-width buckets over [Lo, Hi);
+// out-of-range values clamp to the edge buckets. It renders as a compact
+// ASCII bar chart, which the sdiq tools use for occupancy distributions.
+type Histogram struct {
+	Lo, Hi  float64
+	Buckets []int64
+	count   int64
+}
+
+// NewHistogram returns a histogram with n buckets over [lo, hi).
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n < 1 {
+		n = 1
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+	return &Histogram{Lo: lo, Hi: hi, Buckets: make([]int64, n)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	n := len(h.Buckets)
+	i := int((x - h.Lo) / (h.Hi - h.Lo) * float64(n))
+	if i < 0 {
+		i = 0
+	}
+	if i >= n {
+		i = n - 1
+	}
+	h.Buckets[i]++
+	h.count++
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count }
+
+// String renders the histogram with proportional bars.
+func (h *Histogram) String() string {
+	var max int64 = 1
+	for _, b := range h.Buckets {
+		if b > max {
+			max = b
+		}
+	}
+	out := ""
+	width := (h.Hi - h.Lo) / float64(len(h.Buckets))
+	for i, b := range h.Buckets {
+		bar := int(40 * b / max)
+		out += fmt.Sprintf("%8.1f |%-40s %d\n", h.Lo+float64(i)*width, repeat('#', bar), b)
+	}
+	return out
+}
+
+func repeat(c byte, n int) string {
+	s := make([]byte, n)
+	for i := range s {
+		s[i] = c
+	}
+	return string(s)
+}

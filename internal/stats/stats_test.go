@@ -1,0 +1,131 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("empty mean must be 0")
+	}
+	if got := Mean([]float64{2, 4, 6}); got != 4 {
+		t.Errorf("mean = %f, want 4", got)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{1, 4, 16}); math.Abs(got-4) > 1e-9 {
+		t.Errorf("geomean = %f, want 4", got)
+	}
+	if GeoMean([]float64{1, 0, 2}) != 0 {
+		t.Error("non-positive input must yield 0")
+	}
+	if GeoMean(nil) != 0 {
+		t.Error("empty geomean must be 0")
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if StdDev([]float64{5}) != 0 {
+		t.Error("single value stddev must be 0")
+	}
+	if got := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9}); math.Abs(got-2) > 1e-9 {
+		t.Errorf("stddev = %f, want 2", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	min, max := MinMax([]float64{3, -1, 7, 2})
+	if min != -1 || max != 7 {
+		t.Errorf("minmax = %f,%f", min, max)
+	}
+	if a, b := MinMax(nil); a != 0 || b != 0 {
+		t.Error("empty minmax must be 0,0")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {50, 3}, {100, 5}, {25, 2}, {-5, 1}, {200, 5},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("p%.0f = %f, want %f", c.p, got, c.want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("empty percentile must be 0")
+	}
+	// Input must not be mutated (Percentile sorts a copy).
+	ys := []float64{3, 1, 2}
+	Percentile(ys, 50)
+	if ys[0] != 3 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestMeanBounds(t *testing.T) {
+	f := func(xs []float64) bool {
+		for _, x := range xs {
+			// Skip pathological inputs whose sum overflows float64.
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e100 {
+				return true
+			}
+		}
+		if len(xs) == 0 {
+			return Mean(xs) == 0
+		}
+		m := Mean(xs)
+		min, max := MinMax(xs)
+		return m >= min-1e-9 && m <= max+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGeoMeanBelowArithmetic(t *testing.T) {
+	f := func(seed uint32) bool {
+		xs := []float64{
+			1 + float64(seed%100),
+			1 + float64((seed>>8)%100),
+			1 + float64((seed>>16)%100),
+		}
+		return GeoMean(xs) <= Mean(xs)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{0, 1, 5, 9.9, -3, 42} {
+		h.Add(x)
+	}
+	if h.Count() != 6 {
+		t.Errorf("count = %d", h.Count())
+	}
+	// -3 clamps to bucket 0; 42 clamps to the last bucket.
+	if h.Buckets[0] != 3 { // 0, 1, -3
+		t.Errorf("bucket0 = %d, want 3", h.Buckets[0])
+	}
+	if h.Buckets[4] != 2 { // 9.9, 42
+		t.Errorf("bucket4 = %d, want 2", h.Buckets[4])
+	}
+	if !strings.Contains(h.String(), "#") {
+		t.Error("histogram rendering has no bars")
+	}
+}
+
+func TestHistogramDegenerate(t *testing.T) {
+	h := NewHistogram(5, 5, 0) // invalid geometry gets repaired
+	h.Add(5)
+	if h.Count() != 1 || len(h.Buckets) != 1 {
+		t.Errorf("degenerate histogram: %+v", h)
+	}
+}

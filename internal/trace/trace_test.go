@@ -1,0 +1,89 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func TestDynInstPredicates(t *testing.T) {
+	// A not-taken conditional branch controls flow but does not redirect.
+	br := DynInst{PC: 100, Op: isa.Beq, Taken: false, NextPC: 104}
+	if !br.ControlFlow() || br.Redirects() {
+		t.Errorf("not-taken branch: ctrl=%v redirects=%v", br.ControlFlow(), br.Redirects())
+	}
+	br.Taken = true
+	br.NextPC = 200
+	if !br.Redirects() {
+		t.Error("taken branch to 200 must redirect")
+	}
+	// A taken branch to the fallthrough address does not redirect fetch.
+	br.NextPC = 104
+	if br.Redirects() {
+		t.Error("branch to fallthrough must not redirect")
+	}
+	add := DynInst{Op: isa.Add, NextPC: 4}
+	if add.ControlFlow() {
+		t.Error("add is not control flow")
+	}
+	if add.Class() != isa.ClassIntALU {
+		t.Errorf("class = %v", add.Class())
+	}
+}
+
+func TestHintCarrier(t *testing.T) {
+	h := DynInst{Op: isa.HintNop, Hint: 12}
+	if !h.IsHintCarrier() {
+		t.Error("hint NOOP must carry")
+	}
+	tagged := DynInst{Op: isa.Add, Hint: 7}
+	if !tagged.IsHintCarrier() {
+		t.Error("tagged instruction must carry")
+	}
+	plain := DynInst{Op: isa.Add}
+	if plain.IsHintCarrier() {
+		t.Error("untagged instruction must not carry")
+	}
+}
+
+func TestSliceStream(t *testing.T) {
+	s := &SliceStream{Insts: []DynInst{{Seq: 0}, {Seq: 1}}}
+	d, ok := s.Next()
+	if !ok || d.Seq != 0 {
+		t.Fatalf("first = %v,%v", d, ok)
+	}
+	d, ok = s.Next()
+	if !ok || d.Seq != 1 {
+		t.Fatalf("second = %v,%v", d, ok)
+	}
+	if _, ok := s.Next(); ok {
+		t.Error("exhausted stream must return false")
+	}
+}
+
+func TestLimit(t *testing.T) {
+	inner := &SliceStream{Insts: make([]DynInst, 10)}
+	l := &Limit{S: inner, N: 3}
+	n := 0
+	for {
+		if _, ok := l.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if n != 3 {
+		t.Errorf("limit yielded %d, want 3", n)
+	}
+	// Limit larger than the stream drains naturally.
+	l2 := &Limit{S: &SliceStream{Insts: make([]DynInst, 2)}, N: 100}
+	n = 0
+	for {
+		if _, ok := l2.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if n != 2 {
+		t.Errorf("oversized limit yielded %d, want 2", n)
+	}
+}

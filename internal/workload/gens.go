@@ -1,0 +1,476 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/prog"
+)
+
+// Each generator builds a program whose outer loop runs effectively
+// forever (the emulator restarts it anyway); the timing simulator cuts
+// the run at the instruction budget, mirroring the paper's fixed
+// 100M-instruction windows.
+
+const outerTrips = 1 << 30
+
+// Gzip: compression-style inner loops over a byte-ish table — sequential
+// loads, shift/mask arithmetic, a short match loop with a predictable
+// branch, medium ILP. Expect small IPC loss and solid savings.
+func Gzip(seed int64) *prog.Program {
+	g := newGen("gzip", seed)
+	tab := tableData(g.b, 4096, func(i int64) int64 { return (i*2654435761 + 17) & 0xff })
+	g.b.Proc("main").Entry().
+		Li(isa.R(1), outerTrips).
+		Li(isa.R(26), 0x1E3779B97F4A7C15).
+		Label("outer").
+		Li(isa.R(2), 256). // window loop count
+		Li(isa.R(3), int64(tab)).
+		Label("window").
+		// Load two table words, hash-combine, store back rotated.
+		Ld(isa.R(10), isa.R(3), 0).
+		Ld(isa.R(11), isa.R(3), 8).
+		Xor(isa.R(12), isa.R(10), isa.R(11)).
+		Shli(isa.R(13), isa.R(12), 5).
+		Shri(isa.R(14), isa.R(12), 3).
+		Or(isa.R(15), isa.R(13), isa.R(14)).
+		Add(isa.R(16), isa.R(15), isa.R(10)).
+		Andi(isa.R(16), isa.R(16), 0x7fff).
+		St(isa.R(16), isa.R(3), 0).
+		// Short match-length computation (serial-ish).
+		Addi(isa.R(17), isa.R(16), 3).
+		Shri(isa.R(18), isa.R(17), 1).
+		Add(isa.R(19), isa.R(18), isa.R(11)).
+		Addi(isa.R(3), isa.R(3), 16).
+		Addi(isa.R(2), isa.R(2), -1).
+		Bne(isa.R(2), isa.RZero, "window").
+		Addi(isa.R(1), isa.R(1), -1).
+		Bne(isa.R(1), isa.RZero, "outer").
+		Halt()
+	return g.b.MustBuild()
+}
+
+// Vpr: doubly nested placement loops with multiply-based cost evaluation;
+// the inner recurrence limits ILP moderately.
+func Vpr(seed int64) *prog.Program {
+	g := newGen("vpr", seed)
+	grid := tableData(g.b, 2048, func(i int64) int64 { return i % 97 })
+	g.b.Proc("main").Entry().
+		Li(isa.R(1), outerTrips).
+		Label("outer").
+		Li(isa.R(2), 64).
+		Li(isa.R(3), int64(grid)).
+		Label("rows").
+		Li(isa.R(4), 16).
+		Label("cols").
+		Ld(isa.R(10), isa.R(3), 0).
+		Muli(isa.R(11), isa.R(10), 7).
+		Ld(isa.R(12), isa.R(3), 64).
+		Mul(isa.R(13), isa.R(12), isa.R(10)).
+		Add(isa.R(14), isa.R(11), isa.R(13)).
+		// Running cost is a loop recurrence through a multiply.
+		Add(isa.R(15), isa.R(15), isa.R(14)).
+		Muli(isa.R(16), isa.R(15), 3).
+		Andi(isa.R(15), isa.R(16), 0xffffff).
+		Addi(isa.R(3), isa.R(3), 8).
+		Addi(isa.R(4), isa.R(4), -1).
+		Bne(isa.R(4), isa.RZero, "cols").
+		Addi(isa.R(2), isa.R(2), -1).
+		Bne(isa.R(2), isa.RZero, "rows").
+		Addi(isa.R(1), isa.R(1), -1).
+		Bne(isa.R(1), isa.RZero, "outer").
+		Halt()
+	return g.b.MustBuild()
+}
+
+// Gcc: a large irregular CFG — a dispatch loop over a deep compare-and-
+// branch ladder (the bison switch), each case a short distinct block,
+// several helper procedures. Many short blocks, many paths: the paper's
+// slowest compile and a conservative-analysis stress.
+func Gcc(seed int64) *prog.Program {
+	g := newGen("gcc", seed)
+	const cases = 48
+	tab := tableData(g.b, 1024, func(i int64) int64 { return (i * 2654435761) % cases })
+	g.b.Proc("main").Entry().
+		Li(isa.R(1), outerTrips).
+		Label("outer").
+		Li(isa.R(2), 512).
+		Li(isa.R(3), int64(tab)).
+		Label("dispatch").
+		Ld(isa.R(10), isa.R(3), 0). // next "statement kind"
+		Addi(isa.R(3), isa.R(3), 8)
+	// Compare ladder: case i tested in sequence (irregular control).
+	for i := 0; i < cases; i++ {
+		g.b.Li(isa.R(11), int64(i)).
+			Beq(isa.R(10), isa.R(11), fmt.Sprintf("case%d", i))
+	}
+	g.b.Jmp("next")
+	for i := 0; i < cases; i++ {
+		g.b.Label(fmt.Sprintf("case%d", i))
+		// Each case: a short distinct computation, some call helpers.
+		switch i % 4 {
+		case 0:
+			g.emitALUBurst(3+i%4, 12, 20)
+		case 1:
+			g.b.Muli(isa.R(12+i%6), isa.R(12+i%6), int64(3+i%5))
+			g.emitChain(2, isa.R(18))
+		case 2:
+			g.b.Call(fmt.Sprintf("helper%d", i%3))
+		default:
+			g.emitChain(3+i%3, isa.R(13+i%5))
+		}
+		g.b.Jmp("next")
+	}
+	g.b.Label("next").
+		Addi(isa.R(2), isa.R(2), -1).
+		Bne(isa.R(2), isa.RZero, "dispatch").
+		Addi(isa.R(1), isa.R(1), -1).
+		Bne(isa.R(1), isa.RZero, "outer").
+		Halt()
+	for h := 0; h < 3; h++ {
+		g.b.Proc(fmt.Sprintf("helper%d", h))
+		g.emitALUBurst(4+h, 20, 25)
+		g.b.Ret()
+	}
+	return g.b.MustBuild()
+}
+
+// Mcf: network-simplex pointer chasing over a working set far larger than
+// L2 — serial loads, cache misses dominate, minimal ILP. The queue buys
+// nothing here, so the technique's lowest IPC loss is expected.
+func Mcf(seed int64) *prog.Program {
+	g := newGen("mcf", seed)
+	ring := ringData(g.b, 1<<17, 40503) // 1 MiB pointer ring, scattered
+	g.b.Proc("main").Entry().
+		Li(isa.R(1), outerTrips).
+		Li(isa.R(2), int64(ring)).
+		Label("outer").
+		Li(isa.R(3), 4096).
+		Label("chase").
+		Ld(isa.R(2), isa.R(2), 0). // node = node->next (serial, no prefetch)
+		// A little potential-update arithmetic on the loaded pointer.
+		Andi(isa.R(11), isa.R(2), 0xff).
+		Slt(isa.R(12), isa.R(11), isa.R(4)).
+		Add(isa.R(4), isa.R(4), isa.R(12)).
+		Addi(isa.R(3), isa.R(3), -1).
+		Bne(isa.R(3), isa.RZero, "chase").
+		Addi(isa.R(1), isa.R(1), -1).
+		Bne(isa.R(1), isa.RZero, "outer").
+		Halt()
+	return g.b.MustBuild()
+}
+
+// Crafty: bitboard manipulation — long sequences of shifts, masks and
+// xors with data-dependent branching on computed bits, and an attack-
+// table lookup; branchy with decent ILP between branches.
+func Crafty(seed int64) *prog.Program {
+	g := newGen("crafty", seed)
+	attacks := tableData(g.b, 4096, func(i int64) int64 { return i*0x0101010101010101 ^ (i << 17) })
+	g.b.Proc("main").Entry().
+		Li(isa.R(1), outerTrips).
+		Li(isa.R(26), 0x123456789ABCDEF).
+		Label("outer").
+		Li(isa.R(2), 512).
+		Label("search")
+	// Bitboard update burst.
+	g.emitXorshift(isa.R(26), isa.R(27))
+	g.b.Andi(isa.R(10), isa.R(26), 0xfff).
+		Shli(isa.R(11), isa.R(10), 3).
+		Li(isa.R(12), int64(attacks)).
+		Add(isa.R(12), isa.R(12), isa.R(11)).
+		Ld(isa.R(13), isa.R(12), 0).
+		And(isa.R(14), isa.R(13), isa.R(26)).
+		Or(isa.R(15), isa.R(14), isa.R(10)).
+		Xor(isa.R(16), isa.R(15), isa.R(13)).
+		// Branch on a raw xorshift bit: genuinely unpredictable.
+		Shri(isa.R(17), isa.R(26), 11).
+		Andi(isa.R(17), isa.R(17), 1).
+		Beq(isa.R(17), isa.RZero, "quiet").
+		Addi(isa.R(18), isa.R(18), 1).
+		Shli(isa.R(19), isa.R(18), 2).
+		Label("quiet").
+		Addi(isa.R(2), isa.R(2), -1).
+		Bne(isa.R(2), isa.RZero, "search").
+		Addi(isa.R(1), isa.R(1), -1).
+		Bne(isa.R(1), isa.RZero, "outer").
+		Halt()
+	return g.b.MustBuild()
+}
+
+// Parser: recursive-descent style — a dispatch loop calling per-kind
+// parse procedures that themselves call a shared scanner; plenty of
+// calls, data-dependent branches, small blocks.
+func Parser(seed int64) *prog.Program {
+	g := newGen("parser", seed)
+	text := tableData(g.b, 2048, func(i int64) int64 { return (i*31 + 7) % 5 })
+	g.b.Proc("main").Entry().
+		Li(isa.R(1), outerTrips).
+		Label("outer").
+		Li(isa.R(2), 256).
+		Li(isa.R(3), int64(text)).
+		Label("sentence").
+		Ld(isa.R(10), isa.R(3), 0).
+		Addi(isa.R(3), isa.R(3), 8).
+		Li(isa.R(11), 2).
+		Blt(isa.R(10), isa.R(11), "noun").
+		Li(isa.R(11), 4).
+		Blt(isa.R(10), isa.R(11), "verb").
+		Call("link").
+		Jmp("again").
+		Label("noun").
+		Call("parsenoun").
+		Jmp("again").
+		Label("verb").
+		Call("parseverb").
+		Label("again").
+		Addi(isa.R(2), isa.R(2), -1).
+		Bne(isa.R(2), isa.RZero, "sentence").
+		Addi(isa.R(1), isa.R(1), -1).
+		Bne(isa.R(1), isa.RZero, "outer").
+		Halt()
+	g.b.Proc("parsenoun").
+		Addi(isa.R(12), isa.R(12), 1).
+		Call("scan").
+		Add(isa.R(13), isa.R(13), isa.R(12)).
+		Ret()
+	g.b.Proc("parseverb").
+		Addi(isa.R(14), isa.R(14), 2).
+		Call("scan").
+		Sub(isa.R(15), isa.R(14), isa.R(13)).
+		Ret()
+	g.b.Proc("link").
+		Muli(isa.R(16), isa.R(13), 3).
+		Addi(isa.R(16), isa.R(16), 1).
+		Ret()
+	g.b.Proc("scan").
+		Addi(isa.R(17), isa.R(17), 1).
+		Andi(isa.R(18), isa.R(17), 0xff).
+		Ret()
+	return g.b.MustBuild()
+}
+
+// Perlbmk: bytecode-interpreter dispatch — load an op, walk a branch
+// tree, execute a handler (often via call), repeat. Dispatch overhead and
+// calls dominate; NOOP slots are comparatively cheap to hide but hints
+// change often.
+func Perlbmk(seed int64) *prog.Program {
+	g := newGen("perlbmk", seed)
+	code := tableData(g.b, 4096, func(i int64) int64 { return (i*i*2654435761 + i) % 8 })
+	g.b.Proc("main").Entry().
+		Li(isa.R(1), outerTrips).
+		Label("outer").
+		Li(isa.R(2), 1024).
+		Li(isa.R(3), int64(code)).
+		Label("fetchop").
+		Ld(isa.R(10), isa.R(3), 0).
+		Addi(isa.R(3), isa.R(3), 8).
+		// Binary dispatch tree over 8 opcodes.
+		Li(isa.R(11), 4).
+		Blt(isa.R(10), isa.R(11), "lo").
+		Li(isa.R(11), 6).
+		Blt(isa.R(10), isa.R(11), "op45").
+		Call("opstring").
+		Jmp("done").
+		Label("op45").
+		Call("oparith").
+		Jmp("done").
+		Label("lo").
+		Li(isa.R(11), 2).
+		Blt(isa.R(10), isa.R(11), "op01").
+		Call("ophash").
+		Jmp("done").
+		Label("op01").
+		Addi(isa.R(12), isa.R(12), 1). // inline fast op
+		Label("done").
+		Addi(isa.R(2), isa.R(2), -1).
+		Bne(isa.R(2), isa.RZero, "fetchop").
+		Addi(isa.R(1), isa.R(1), -1).
+		Bne(isa.R(1), isa.RZero, "outer").
+		Halt()
+	g.b.Proc("oparith")
+	g.emitMulTree(isa.R(13), 14)
+	g.b.Ret()
+	g.b.Proc("ophash").
+		Shli(isa.R(18), isa.R(12), 5).
+		Xor(isa.R(18), isa.R(18), isa.R(12)).
+		Addi(isa.R(18), isa.R(18), 0x9e37).
+		Ret()
+	g.b.Proc("opstring")
+	g.emitALUBurst(6, 19, 24)
+	g.b.Ret()
+	return g.b.MustBuild()
+}
+
+// Gap: computer-algebra arithmetic — multiply/divide-heavy kernels in
+// loops, with helper calls for carries; mixed latencies expose FU
+// contention inside one procedure.
+func Gap(seed int64) *prog.Program {
+	g := newGen("gap", seed)
+	bignum := tableData(g.b, 1024, func(i int64) int64 { return i*i + 3 })
+	g.b.Proc("main").Entry().
+		Li(isa.R(1), outerTrips).
+		Label("outer").
+		Li(isa.R(2), 128).
+		Li(isa.R(3), int64(bignum)).
+		Label("limb").
+		Ld(isa.R(10), isa.R(3), 0).
+		Ld(isa.R(11), isa.R(3), 8).
+		Mul(isa.R(12), isa.R(10), isa.R(11)).
+		Muli(isa.R(13), isa.R(10), 10007).
+		Add(isa.R(14), isa.R(12), isa.R(13)).
+		Shri(isa.R(15), isa.R(14), 16). // carry
+		Add(isa.R(16), isa.R(16), isa.R(15)).
+		St(isa.R(14), isa.R(3), 0).
+		Addi(isa.R(3), isa.R(3), 16).
+		Addi(isa.R(2), isa.R(2), -1).
+		Bne(isa.R(2), isa.RZero, "limb").
+		Call("normalize"). // carry normalisation once per limb pass
+		Addi(isa.R(1), isa.R(1), -1).
+		Bne(isa.R(1), isa.RZero, "outer").
+		Halt()
+	g.b.Proc("normalize").
+		Andi(isa.R(17), isa.R(16), 0xffff).
+		Shri(isa.R(16), isa.R(16), 16).
+		Add(isa.R(18), isa.R(17), isa.R(16)).
+		Ret()
+	return g.b.MustBuild()
+}
+
+// Vortex: an object-database workload — long chains of small procedures
+// manipulating records, with multiply work straddling the call
+// boundaries. Short blocks plus dense calls make inserted NOOPs
+// expensive, and cross-call FU contention makes locally-computed hints
+// too small: the paper's worst NOOP benchmark, rescued by Extension.
+func Vortex(seed int64) *prog.Program {
+	g := newGen("vortex", seed)
+	// The record table fits in L1 (the benchmark is call-bound, not
+	// memory-bound): 512 words = 4KB.
+	db := tableData(g.b, 512, func(i int64) int64 { return i ^ (i << 9) })
+	g.b.Proc("main").Entry().
+		Li(isa.R(1), outerTrips).
+		Li(isa.R(5), int64(db)). // table base
+		Li(isa.R(4), 0).         // wrapping offset
+		Label("outer").
+		Li(isa.R(2), 256).
+		Label("txn").
+		Addi(isa.R(4), isa.R(4), 32).
+		Andi(isa.R(4), isa.R(4), 4064).
+		Add(isa.R(3), isa.R(5), isa.R(4)).
+		// Wide independent record-field updates (high ILP: the dispatch
+		// bandwidth matters, so inserted NOOPs cost real slots)...
+		Addi(isa.R(16), isa.R(16), 1).
+		Xori(isa.R(17), isa.R(17), 0x55).
+		Addi(isa.R(18), isa.R(18), 2).
+		Shli(isa.R(19), isa.R(19), 1).
+		Addi(isa.R(20), isa.R(20), 3).
+		Xori(isa.R(21), isa.R(21), 0x0f).
+		Call("lookup").
+		// ...and multiply work right after the call contends with the
+		// callee's multiplies for the 3 Mul units.
+		Mul(isa.R(22), isa.R(20), isa.R(21)).
+		Muli(isa.R(23), isa.R(22), 7).
+		Addi(isa.R(24), isa.R(16), 4).
+		Xori(isa.R(25), isa.R(17), 0x33).
+		Call("update").
+		Add(isa.R(24), isa.R(23), isa.R(22)).
+		Addi(isa.R(16), isa.R(16), 1).
+		Addi(isa.R(18), isa.R(18), 1).
+		Call("commit").
+		Addi(isa.R(2), isa.R(2), -1).
+		Bne(isa.R(2), isa.RZero, "txn").
+		Addi(isa.R(1), isa.R(1), -1).
+		Bne(isa.R(1), isa.RZero, "outer").
+		Halt()
+	g.b.Proc("lookup").
+		Ld(isa.R(10), isa.R(3), 0).
+		Muli(isa.R(11), isa.R(10), 37).
+		Andi(isa.R(12), isa.R(11), 0x1fff).
+		Ret()
+	g.b.Proc("update").
+		Ld(isa.R(13), isa.R(3), 8).
+		Mul(isa.R(14), isa.R(13), isa.R(12)).
+		St(isa.R(14), isa.R(3), 8).
+		Ret()
+	g.b.Proc("commit").
+		Addi(isa.R(15), isa.R(15), 1).
+		St(isa.R(15), isa.R(3), 16).
+		Ret()
+	return g.b.MustBuild()
+}
+
+// Bzip2: block-sorting compression — a sorting-ish loop calling a hot,
+// small, multiply-dense comparator; the paper's Improved technique
+// (inter-procedural FU contention) recovers precisely this pattern.
+func Bzip2(seed int64) *prog.Program {
+	g := newGen("bzip2", seed)
+	block := tableData(g.b, 4096, func(i int64) int64 { return (i*131 + 29) % 251 })
+	g.b.Proc("main").Entry().
+		Li(isa.R(1), outerTrips).
+		Label("outer").
+		Li(isa.R(2), 512).
+		Li(isa.R(3), int64(block)).
+		Label("sortstep").
+		Ld(isa.R(10), isa.R(3), 0).
+		Ld(isa.R(11), isa.R(3), 8).
+		Call("rank"). // mul-heavy comparator
+		// Post-call multiplies contend with the callee's tail.
+		Mul(isa.R(14), isa.R(12), isa.R(10)).
+		Muli(isa.R(15), isa.R(14), 3).
+		Slt(isa.R(16), isa.R(15), isa.R(11)).
+		Beq(isa.R(16), isa.RZero, "noswap").
+		St(isa.R(11), isa.R(3), 0).
+		St(isa.R(10), isa.R(3), 8).
+		Label("noswap").
+		Addi(isa.R(3), isa.R(3), 16).
+		Addi(isa.R(2), isa.R(2), -1).
+		Bne(isa.R(2), isa.RZero, "sortstep").
+		Addi(isa.R(1), isa.R(1), -1).
+		Bne(isa.R(1), isa.RZero, "outer").
+		Halt()
+	g.b.Proc("rank").
+		// Six multiplies on three units: the comparator saturates the
+		// multiplier pipes, so the caller's post-call multiplies queue
+		// behind it — the cross-boundary contention Improved models.
+		Mul(isa.R(12), isa.R(10), isa.R(11)).
+		Muli(isa.R(13), isa.R(10), 2654435761).
+		Muli(isa.R(17), isa.R(11), 40503).
+		Mul(isa.R(18), isa.R(13), isa.R(17)).
+		Muli(isa.R(19), isa.R(11), 97).
+		Mul(isa.R(12), isa.R(12), isa.R(18)).
+		Shri(isa.R(12), isa.R(12), 7).
+		Ret()
+	return g.b.MustBuild()
+}
+
+// Twolf: place-and-route cost loops with mixed latencies — multiplies,
+// an occasional divide, table loads — and moderate branching.
+func Twolf(seed int64) *prog.Program {
+	g := newGen("twolf", seed)
+	cells := tableData(g.b, 2048, func(i int64) int64 { return (i*53)%1009 + 1 })
+	g.b.Proc("main").Entry().
+		Li(isa.R(1), outerTrips).
+		Label("outer").
+		Li(isa.R(2), 256).
+		Li(isa.R(3), int64(cells)).
+		Label("cell").
+		Ld(isa.R(10), isa.R(3), 0).
+		Ld(isa.R(11), isa.R(3), 8).
+		Mul(isa.R(12), isa.R(10), isa.R(11)).
+		Muli(isa.R(13), isa.R(12), 45).
+		Add(isa.R(14), isa.R(13), isa.R(11)).
+		Slt(isa.R(15), isa.R(14), isa.R(16)).
+		Beq(isa.R(15), isa.RZero, "keep").
+		Mov(isa.R(16), isa.R(14)).
+		St(isa.R(16), isa.R(3), 0).
+		Label("keep").
+		Addi(isa.R(3), isa.R(3), 16).
+		Addi(isa.R(2), isa.R(2), -1).
+		Bne(isa.R(2), isa.RZero, "cell").
+		// Overflow penalty scaling: one long-latency divide per pass.
+		Div(isa.R(17), isa.R(16), isa.R(13)).
+		Add(isa.R(16), isa.R(16), isa.R(17)).
+		Addi(isa.R(1), isa.R(1), -1).
+		Bne(isa.R(1), isa.RZero, "outer").
+		Halt()
+	return g.b.MustBuild()
+}

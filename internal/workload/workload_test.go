@@ -1,0 +1,178 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/sim"
+)
+
+func TestSuiteComplete(t *testing.T) {
+	s := Suite()
+	if len(s) != 11 {
+		t.Fatalf("suite has %d benchmarks, want 11 (SPEC2000int minus eon)", len(s))
+	}
+	names := map[string]bool{}
+	for _, b := range s {
+		if names[b.Name] {
+			t.Errorf("duplicate benchmark %q", b.Name)
+		}
+		names[b.Name] = true
+		if b.Description == "" {
+			t.Errorf("%s: missing description", b.Name)
+		}
+	}
+	for _, want := range []string{"gzip", "vpr", "gcc", "mcf", "crafty", "parser", "perlbmk", "gap", "vortex", "bzip2", "twolf"} {
+		if !names[want] {
+			t.Errorf("missing benchmark %q", want)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, ok := ByName("gzip"); !ok {
+		t.Error("gzip not found")
+	}
+	if _, ok := ByName("eon"); ok {
+		t.Error("eon must not exist (C++, excluded by the paper)")
+	}
+}
+
+func TestAllBenchmarksBuildAndRun(t *testing.T) {
+	for _, b := range Suite() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			p := b.Build(42)
+			if !p.Linked() {
+				t.Fatal("program not linked")
+			}
+			e, err := emu.New(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			e.Restart = true
+			// Must execute 50k instructions without halting or panicking.
+			for i := 0; i < 50_000; i++ {
+				if _, ok := e.Next(); !ok {
+					t.Fatalf("%s halted after %d instructions", b.Name, i)
+				}
+			}
+		})
+	}
+}
+
+func TestDeterministicGeneration(t *testing.T) {
+	for _, b := range Suite() {
+		p1 := b.Build(7)
+		p2 := b.Build(7)
+		if p1.NumInsts() != p2.NumInsts() {
+			t.Errorf("%s: non-deterministic generation", b.Name)
+		}
+	}
+}
+
+func TestAllBenchmarksInstrumentable(t *testing.T) {
+	for _, b := range Suite() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			p := b.Build(42)
+			rep, err := core.Instrument(p, core.Options{Mode: core.ModeNOOP})
+			if err != nil {
+				t.Fatalf("instrument: %v", err)
+			}
+			if rep.HintsInserted == 0 {
+				t.Error("no hints inserted")
+			}
+			// The instrumented program must still execute.
+			e, err := emu.New(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			e.Restart = true
+			hints := 0
+			for i := 0; i < 20_000; i++ {
+				d, ok := e.Next()
+				if !ok {
+					t.Fatal("halted")
+				}
+				if d.Op == isa.HintNop {
+					hints++
+				}
+			}
+			if hints == 0 {
+				t.Error("no dynamic hints in 20k instructions")
+			}
+			if hints > 8_000 {
+				t.Errorf("hint overhead %d/20000 implausibly high", hints)
+			}
+		})
+	}
+}
+
+func TestBenchmarkCharacters(t *testing.T) {
+	if testing.Short() {
+		t.Skip("character check needs timing runs")
+	}
+	cfg := sim.DefaultConfig()
+	budget := int64(30_000)
+
+	// mcf must be memory-bound: high D-miss rate, low IPC.
+	mcf, err := sim.RunProgram(cfg, Mcf(42), budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mcf.DL1.MissRate() < 0.2 {
+		t.Errorf("mcf DL1 miss rate %.3f, want memory-bound (>0.2)", mcf.DL1.MissRate())
+	}
+	if mcf.IPC() > 1.0 {
+		t.Errorf("mcf IPC %.2f, want < 1 (pointer chasing)", mcf.IPC())
+	}
+
+	// gzip must be compute-bound: near-zero misses, much higher IPC.
+	gz, err := sim.RunProgram(cfg, Gzip(42), budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gz.DL1.MissRate() > 0.05 {
+		t.Errorf("gzip DL1 miss rate %.3f, want tiny", gz.DL1.MissRate())
+	}
+	if gz.IPC() < 2*mcf.IPC() {
+		t.Errorf("gzip IPC %.2f not clearly above mcf %.2f", gz.IPC(), mcf.IPC())
+	}
+
+	// vortex must be call-dense.
+	vt, err := sim.RunProgram(cfg, Vortex(42), budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vt.Bpred.RASReturns == 0 {
+		t.Error("vortex executed no returns")
+	}
+	callRate := float64(vt.Bpred.RASReturns) / float64(vt.CommittedReal)
+	if callRate < 0.05 {
+		t.Errorf("vortex call rate %.3f, want dense calls", callRate)
+	}
+
+	// crafty must mispredict more than gzip (data-dependent branches).
+	cr, err := sim.RunProgram(cfg, Crafty(42), budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cr.Bpred.MispredictRate() <= gz.Bpred.MispredictRate() {
+		t.Errorf("crafty mispredict %.3f not above gzip %.3f",
+			cr.Bpred.MispredictRate(), gz.Bpred.MispredictRate())
+	}
+}
+
+func TestGccHasManyBlocks(t *testing.T) {
+	p := Gcc(42)
+	blocks := 0
+	for _, pr := range p.Procs {
+		blocks += len(pr.Blocks)
+	}
+	if blocks < 100 {
+		t.Errorf("gcc has %d blocks, want a large irregular CFG (>=100)", blocks)
+	}
+}

@@ -1,42 +1,66 @@
 // Command sdiq runs the paper's evaluation: every table and figure of
 // "Software Directed Issue Queue Power Reduction" (HPCA 2005), on the
-// synthetic SPECint-like suite.
+// synthetic SPECint-like suite. All simulation goes through the campaign
+// engine (internal/campaign): runs execute on a cancellable parallel
+// worker pool, optionally sweep configuration axes, cache per-run
+// results on disk, and export for re-plotting without re-simulating.
 //
 // Usage:
 //
-//	sdiq [-experiment all|table1|table2|fig6|fig7|fig8|fig9|fig10|fig11|fig12|summary]
+//	sdiq [-experiment all|table1|table2|fig6|fig7|fig8|fig9|fig10|fig11|fig12|summary|sweep]
 //	     [-budget N] [-seed N] [-parallel N] [-format table|csv]
 //	     [-config cfg.json] [-dumpconfig]
+//	     [-sweep "axis=v1,v2,...;axis=..."] [-cache DIR]
+//	     [-export FILE.json|FILE.csv] [-load FILE.json]
 //
 // The budget is the number of committed (real) instructions per run; the
 // paper uses 100M, the default here is 500k which reproduces the same
 // shape in seconds. A JSON config file overrides table-1 parameters
 // (emit a template with -dumpconfig).
+//
+// -sweep runs the grid at every point of the axis cross product, e.g.
+// -sweep "iq.entries=16,32,48,64,80" simulates all techniques at five
+// static queue sizes. -cache makes re-runs of any unchanged cell
+// near-instant. -export saves the campaign (spec + results); -load
+// renders tables/figures from a saved campaign without simulating.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
+	"repro/internal/campaign"
 	"repro/internal/exp"
 )
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"which experiment to run: all, table1, table2, fig6..fig12, summary")
+		"which experiment to run: all, table1, table2, fig6..fig12, summary, sweep")
 	budget := flag.Int64("budget", 500_000, "committed instructions per run")
 	seed := flag.Int64("seed", 42, "workload generator seed")
 	parallel := flag.Int("parallel", 0, "worker count (0 = GOMAXPROCS)")
 	format := flag.String("format", "table", "output format: table or csv")
 	configPath := flag.String("config", "", "JSON processor configuration overriding table 1")
 	dumpConfig := flag.Bool("dumpconfig", false, "print the default configuration as JSON and exit")
+	sweepFlag := flag.String("sweep", "",
+		fmt.Sprintf("config axes to sweep, e.g. \"iq.entries=16,32,48,64,80\" (axes: %s)",
+			strings.Join(campaign.AxisNames(), ", ")))
+	cacheDir := flag.String("cache", "", "directory for the on-disk result cache")
+	exportPath := flag.String("export", "", "write the campaign to FILE (.json or .csv)")
+	loadPath := flag.String("load", "", "load a saved campaign JSON instead of simulating")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	r := exp.NewRunner(*budget)
 	r.Seed = *seed
 	r.Parallel = *parallel
+	r.CacheDir = *cacheDir
 
 	if *dumpConfig {
 		if err := exp.WriteConfig(os.Stdout, r.Config); err != nil {
@@ -64,6 +88,10 @@ func main() {
 	default:
 		fail(fmt.Errorf("unknown format %q", *format))
 	}
+	axes, err := campaign.ParseAxes(*sweepFlag)
+	if err != nil {
+		fail(err)
+	}
 
 	name := strings.ToLower(*experiment)
 
@@ -77,7 +105,50 @@ func main() {
 		return
 	}
 
-	s, err := r.RunSuite(exp.AllTechniques())
+	var rs *campaign.ResultSet
+	if *loadPath != "" {
+		f, err := os.Open(*loadPath)
+		if err != nil {
+			fail(err)
+		}
+		rs, err = campaign.ReadJSON(f)
+		f.Close()
+		if err != nil {
+			fail(err)
+		}
+	}
+
+	if len(axes) > 0 && name != "sweep" {
+		fail(fmt.Errorf("-sweep only combines with -experiment sweep (figures need a base grid); got -experiment %s", name))
+	}
+	if name == "sweep" {
+		if rs == nil {
+			spec := r.Spec(exp.AllTechniques())
+			spec.Name = "sweep"
+			spec.Axes = axes
+			eng := &campaign.Engine{Workers: *parallel, CacheDir: *cacheDir}
+			rs, err = eng.Run(ctx, spec)
+			if err != nil {
+				fail(err)
+			}
+		}
+		if csv {
+			if err := rs.WriteCSV(os.Stdout); err != nil {
+				fail(err)
+			}
+		} else {
+			fmt.Print(exp.SweepReport(rs))
+		}
+		export(*exportPath, rs)
+		return
+	}
+
+	var s *exp.SuiteResults
+	if rs != nil {
+		s, err = exp.FromCampaign(rs)
+	} else {
+		s, err = r.RunSuiteContext(ctx, exp.AllTechniques())
+	}
 	if err != nil {
 		fail(err)
 	}
@@ -115,6 +186,33 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "sdiq: unknown experiment %q\n", *experiment)
 		os.Exit(2)
+	}
+	export(*exportPath, s.Campaign)
+}
+
+// export writes the campaign to path, as JSON or CSV by extension.
+func export(path string, rs *campaign.ResultSet) {
+	if path == "" {
+		return
+	}
+	if rs == nil {
+		fail(fmt.Errorf("nothing to export"))
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fail(err)
+	}
+	switch {
+	case strings.HasSuffix(path, ".csv"):
+		err = rs.WriteCSV(f)
+	default:
+		err = rs.WriteJSON(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fail(err)
 	}
 }
 

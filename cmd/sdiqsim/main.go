@@ -3,6 +3,10 @@
 // and occupancy histograms for the issue queue and register file — the
 // inspection companion to the sdiq experiment driver.
 //
+// The run is one campaign job (internal/campaign) with a per-cycle probe
+// attached, so the cell inspected here is configured exactly as the same
+// cell of a full sdiq campaign.
+//
 // Usage:
 //
 //	sdiqsim -bench gzip [-tech baseline|noop|tag|improved|abella]
@@ -10,15 +14,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
-	"repro/internal/core"
-	"repro/internal/prog"
+	"repro/internal/campaign"
 	"repro/internal/sim"
 	"repro/internal/stats"
-	"repro/internal/workload"
 )
 
 // histProbe accumulates per-cycle occupancy histograms.
@@ -39,46 +42,41 @@ func main() {
 	seed := flag.Int64("seed", 42, "generator seed")
 	flag.Parse()
 
-	b, ok := workload.ByName(*bench)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "sdiqsim: unknown benchmark %q\n", *bench)
+	technique, err := campaign.ParseTechnique(*tech)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sdiqsim: %v\n", err)
 		os.Exit(2)
 	}
-	p := b.Build(*seed)
-	cfg := sim.DefaultConfig()
-	switch *tech {
-	case "baseline":
-	case "noop":
-		mustInstrument(p, core.Options{Mode: core.ModeNOOP})
-		cfg.Control = sim.ControlHints
-	case "tag":
-		mustInstrument(p, core.Options{Mode: core.ModeTag})
-		cfg.Control = sim.ControlHints
-	case "improved":
-		mustInstrument(p, core.Options{Mode: core.ModeTag, Improved: true})
-		cfg.Control = sim.ControlHints
-	case "abella":
-		cfg.Control = sim.ControlAdaptive
-	default:
-		fmt.Fprintf(os.Stderr, "sdiqsim: unknown technique %q\n", *tech)
-		os.Exit(2)
-	}
-
-	probe := &histProbe{
-		iq:  stats.NewHistogram(0, float64(cfg.IQ.Entries), 10),
-		rf:  stats.NewHistogram(0, float64(cfg.IntRF.Regs), 14),
-		rob: stats.NewHistogram(0, float64(cfg.ROBSize), 8),
-	}
-	cfg.Probe = probe
-
-	st, err := sim.RunProgram(cfg, p, *budget)
+	spec := campaign.DefaultSpec(*budget)
+	spec.Name = "inspect"
+	spec.Benchmarks = []string{*bench}
+	spec.Techniques = []campaign.Technique{technique}
+	spec.Seed = *seed
+	jobs, err := spec.Jobs()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sdiqsim: %v\n", err)
 		os.Exit(1)
 	}
+	job := jobs[0]
+
+	probe := &histProbe{
+		iq:  stats.NewHistogram(0, float64(job.Config.IQ.Entries), 10),
+		rf:  stats.NewHistogram(0, float64(job.Config.IntRF.Regs), 14),
+		rob: stats.NewHistogram(0, float64(job.Config.ROBSize), 8),
+	}
+	job.Config.Probe = probe
+
+	res, err := campaign.Execute(context.Background(), &job)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sdiqsim: %v\n", err)
+		os.Exit(1)
+	}
+	st := res.Stats
 
 	fmt.Printf("%s under %s: %d instructions in %d cycles (IPC %.3f)\n\n",
-		*bench, *tech, st.CommittedReal, st.Cycles, st.IPC())
+		*bench, technique, st.CommittedReal, st.Cycles, st.IPC())
+	fmt.Printf("compile:    %d static hints in %.1fms (generation %.1fms)\n",
+		res.Hints, res.CompileMS, res.GenMS)
 	fmt.Printf("front end:  %.2f%% cond mispredict, %.2f%% L1I miss, %d BTB bubbles\n",
 		100*st.Bpred.MispredictRate(), 100*st.IL1.MissRate(), st.BTBBubbles)
 	fmt.Printf("memory:     %.2f%% L1D miss, %.2f%% L2 miss\n",
@@ -89,15 +87,8 @@ func main() {
 		st.StallIQFull, st.StallHintLimit, st.StallSizeLimit,
 		st.StallROBFull, st.StallNoPhysReg, st.StallLSQFull)
 	fmt.Printf("issue queue occupancy (mean %.1f of %d; %.1f banks on):\n%s\n",
-		st.AvgIQOccupancy(), cfg.IQ.Entries, st.AvgIQBanksOn(), probe.iq)
+		st.AvgIQOccupancy(), job.Config.IQ.Entries, st.AvgIQBanksOn(), probe.iq)
 	fmt.Printf("live integer registers (mean %.1f of %d):\n%s\n",
-		st.AvgIntRFLive(), cfg.IntRF.Regs, probe.rf)
+		st.AvgIntRFLive(), job.Config.IntRF.Regs, probe.rf)
 	fmt.Printf("reorder buffer occupancy:\n%s", probe.rob)
-}
-
-func mustInstrument(p *prog.Program, opt core.Options) {
-	if _, err := core.Instrument(p, opt); err != nil {
-		fmt.Fprintf(os.Stderr, "sdiqsim: %v\n", err)
-		os.Exit(1)
-	}
 }

@@ -6,23 +6,59 @@
 // latency-tolerant one (twolf) needs most of the 80 — so a fixed queue
 // either wastes power or loses IPC on part of the workload, and only a
 // dynamic scheme can track the per-program (indeed per-region) need.
+//
+// The grid — four benchmarks × baseline at four static sizes, plus the
+// dynamic tag technique at full size — is two declarative campaign
+// specs; the engine runs the twenty cells in parallel. Pass a directory
+// argument to cache the results and make re-runs instant.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
 
-	"repro/internal/core"
-	"repro/internal/power"
-	"repro/internal/sim"
-	"repro/internal/workload"
+	"repro/internal/campaign"
 )
 
 const budget = 150_000
 
 func main() {
-	params := power.DefaultParams()
+	cacheDir := ""
+	if len(os.Args) > 1 {
+		cacheDir = os.Args[1]
+	}
 	sizes := []int{80, 48, 32, 16}
+	engine := &campaign.Engine{CacheDir: cacheDir}
+
+	// Sixteen cells: every benchmark at every static queue size.
+	static := campaign.DefaultSpec(budget)
+	static.Name = "static-iq-sweep"
+	static.Benchmarks = []string{"gzip", "twolf", "vpr", "gap"}
+	static.Techniques = []campaign.Technique{campaign.TechBaseline}
+	static.Axes = []campaign.Axis{{Name: "iq.entries", Values: sizes}}
+
+	// Four more: the dynamic tag technique on the full-size queue.
+	dynamic := static
+	dynamic.Name = "dynamic-tag"
+	dynamic.Techniques = []campaign.Technique{campaign.TechExtension}
+	dynamic.Axes = nil
+
+	rs, err := engine.Run(context.Background(), static)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dyn, err := engine.Run(context.Background(), dynamic)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	points := rs.Points() // one per static size, in axis order
+	full := points[0]     // iq.entries=80: the paper's queue
+	base := rs.Spec.Base
+	iqBanks := base.IQ.Entries / base.IQ.BankSize
+	rfBanks := base.IntRF.Regs / base.IntRF.BankSize
 
 	fmt.Println("static issue-queue size sweep: IPC loss % vs the 80-entry baseline")
 	fmt.Printf("%-8s", "bench")
@@ -31,36 +67,23 @@ func main() {
 	}
 	fmt.Println("   dynamic(tag)")
 
-	for _, name := range []string{"gzip", "twolf", "vpr", "gap"} {
-		bench, _ := workload.ByName(name)
-		ref, err := sim.RunProgram(sim.DefaultConfig(), bench.Build(42), budget)
-		if err != nil {
-			log.Fatal(err)
+	for _, bench := range rs.Benchmarks() {
+		ref := rs.MustGet(bench, campaign.TechBaseline, full)
+		fmt.Printf("%-8s", bench)
+		for _, pt := range points {
+			st := rs.MustGet(bench, campaign.TechBaseline, pt).Stats
+			fmt.Printf("  %6.2f", (1-st.IPC()/ref.Stats.IPC())*100)
 		}
-		fmt.Printf("%-8s", name)
-		for _, entries := range sizes {
-			cfg := sim.DefaultConfig()
-			cfg.IQ.Entries = entries
-			st, err := sim.RunProgram(cfg, bench.Build(42), budget)
-			if err != nil {
-				log.Fatal(err)
-			}
-			fmt.Printf("  %6.2f", (1-st.IPC()/ref.IPC())*100)
-		}
-		// The dynamic technique on the full-size queue.
-		p := bench.Build(42)
-		if _, err := core.Instrument(p, core.Options{Mode: core.ModeTag}); err != nil {
-			log.Fatal(err)
-		}
-		cfg := sim.DefaultConfig()
-		cfg.Control = sim.ControlHints
-		st, err := sim.RunProgram(cfg, p, budget)
-		if err != nil {
-			log.Fatal(err)
-		}
-		sv := params.Compute(&ref, &st, 10, 14)
+		// The dynamic technique, compared against the same full-size
+		// baseline (the two campaigns share a base configuration).
+		st := dyn.MustGet(bench, campaign.TechExtension, nil).Stats
+		sv := rs.Spec.Params.Compute(&ref.Stats, &st, iqBanks, rfBanks)
 		fmt.Printf("   %.2f%% loss, %.1f%% dyn saving\n",
-			(1-st.IPC()/ref.IPC())*100, sv.IQDynamicPct)
+			(1-st.IPC()/ref.Stats.IPC())*100, sv.IQDynamicPct)
+	}
+	if hits := rs.CacheHits + dyn.CacheHits; hits > 0 {
+		fmt.Printf("\n(%d of %d cells served from cache)\n",
+			hits, len(rs.Results)+len(dyn.Results))
 	}
 	fmt.Println("\nreading: a 16-entry queue is free for gzip but ruinous where the")
 	fmt.Println("window matters; the compiler-controlled queue adapts per region.")

@@ -1,0 +1,106 @@
+package campaign
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/power"
+)
+
+// cacheSchema versions the cached-result format; bump it when Result or
+// the simulator's statistics change shape or meaning, which invalidates
+// every prior entry at once.
+const cacheSchema = 1
+
+// JobKey returns the content hash that identifies a job's result: a
+// SHA-256 over everything the outcome depends on — benchmark, technique,
+// the fully-derived simulator configuration, budget, seed, and the power
+// parameters the campaign's figures will be computed with. The sweep
+// point is deliberately absent: it is already folded into the derived
+// configuration, so a sweep cell and a base run with equal
+// configurations share one cache entry.
+func JobKey(job *Job, params power.Params) (string, error) {
+	cfg := job.Config
+	cfg.Probe = nil // runtime attachment, not identity
+	blob, err := json.Marshal(struct {
+		Schema int
+		Bench  string
+		Tech   Technique
+		Config any
+		Budget int64
+		Seed   int64
+		Params power.Params
+	}{cacheSchema, job.Bench, job.Tech, cfg, job.Budget, job.Seed, params})
+	if err != nil {
+		return "", fmt.Errorf("campaign: hashing job %s: %w", job.ID(), err)
+	}
+	sum := sha256.Sum256(blob)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// diskCache persists one Result per content hash under a directory,
+// sharded by the key's first byte to keep directories small. A missing
+// or unreadable entry is a miss, never an error: the cache is an
+// accelerator, not a source of truth.
+type diskCache struct {
+	dir string
+}
+
+func newDiskCache(dir string) (*diskCache, error) {
+	if dir == "" {
+		return nil, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("campaign: cache dir: %w", err)
+	}
+	return &diskCache{dir: dir}, nil
+}
+
+func (c *diskCache) path(key string) string {
+	return filepath.Join(c.dir, key[:2], key+".json")
+}
+
+// get loads a cached result; ok is false on miss or a corrupt entry.
+func (c *diskCache) get(key string) (Result, bool) {
+	raw, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return Result{}, false
+	}
+	var res Result
+	if err := json.Unmarshal(raw, &res); err != nil {
+		return Result{}, false
+	}
+	res.Cached = true
+	return res, true
+}
+
+// put stores a result atomically (write-to-temp, rename) so concurrent
+// campaigns over the same cache directory never observe torn entries.
+func (c *diskCache) put(key string, res Result) error {
+	p := c.path(key)
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return err
+	}
+	blob, err := json.Marshal(res)
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(p), "."+key+".tmp*")
+	if err != nil {
+		return err
+	}
+	_, werr := tmp.Write(blob)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		if werr != nil {
+			return werr
+		}
+		return cerr
+	}
+	return os.Rename(tmp.Name(), p)
+}

@@ -1,0 +1,195 @@
+package campaign
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Engine executes campaigns. The zero value runs with GOMAXPROCS workers
+// and no cache; set CacheDir to persist results across runs.
+type Engine struct {
+	// Workers is the worker-pool size; 0 means GOMAXPROCS.
+	Workers int
+	// CacheDir enables the on-disk result cache when non-empty.
+	CacheDir string
+	// OnResult, when non-nil, observes every completed result as it
+	// lands (from worker goroutines, serialised by the engine). CLI
+	// drivers use it for progress reporting.
+	OnResult func(Result)
+}
+
+// jobQueue is one worker's share of the campaign. The owner pops from
+// the front; idle workers steal from the back, so an owner and a thief
+// contend only on the last job of a queue.
+type jobQueue struct {
+	mu   sync.Mutex
+	jobs []int // indices into the campaign's job slice
+}
+
+func (q *jobQueue) pop() (int, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.jobs) == 0 {
+		return 0, false
+	}
+	idx := q.jobs[0]
+	q.jobs = q.jobs[1:]
+	return idx, true
+}
+
+func (q *jobQueue) steal() (int, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.jobs) == 0 {
+		return 0, false
+	}
+	idx := q.jobs[len(q.jobs)-1]
+	q.jobs = q.jobs[:len(q.jobs)-1]
+	return idx, true
+}
+
+// Run expands the spec and executes every job. The returned ResultSet
+// lists completed results in the spec's deterministic job order
+// regardless of completion order or worker count.
+//
+// On the first job error the engine cancels the campaign: in-flight jobs
+// finish, queued jobs are skipped and counted in ResultSet.Skipped, and
+// the error return joins every job error observed (errors.Join). The
+// partial ResultSet is returned alongside the error so a driver can
+// still export what completed. Cancelling ctx stops the campaign the
+// same way and surfaces ctx's error.
+func (e *Engine) Run(ctx context.Context, spec Spec) (*ResultSet, error) {
+	jobs, err := spec.Jobs()
+	if err != nil {
+		return nil, err
+	}
+	cache, err := newDiskCache(e.CacheDir)
+	if err != nil {
+		return nil, err
+	}
+	rs := &ResultSet{Spec: spec}
+	if len(jobs) == 0 {
+		return rs, nil
+	}
+
+	workers := e.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	queues := make([]*jobQueue, workers)
+	for w := range queues {
+		queues[w] = &jobQueue{}
+	}
+	for i := range jobs {
+		q := queues[i%workers]
+		q.jobs = append(q.jobs, i)
+	}
+
+	results := make([]Result, len(jobs))
+	filled := make([]bool, len(jobs))
+	var (
+		mu        sync.Mutex // guards errs, executed, cacheHits, OnResult
+		errs      []error
+		executed  int
+		cacheHits int
+	)
+
+	runJob := func(idx int) {
+		job := &jobs[idx]
+		var key string
+		if cache != nil {
+			k, err := JobKey(job, spec.Params)
+			if err == nil {
+				// Unhashable jobs still run; they just can't be cached.
+				key = k
+			}
+		}
+		if cache != nil && key != "" {
+			if res, ok := cache.get(key); ok {
+				// The key omits the sweep point (it is encoded in the
+				// derived config); restamp the requester's coordinates.
+				res.Point = job.Point
+				mu.Lock()
+				results[idx], filled[idx] = res, true
+				cacheHits++
+				if e.OnResult != nil {
+					e.OnResult(res)
+				}
+				mu.Unlock()
+				return
+			}
+		}
+		res, err := Execute(ctx, job)
+		if err != nil {
+			if ctx.Err() != nil && errors.Is(err, ctx.Err()) {
+				return // cancelled before/while running: skipped, not failed
+			}
+			mu.Lock()
+			errs = append(errs, err)
+			mu.Unlock()
+			cancel()
+			return
+		}
+		if cache != nil && key != "" {
+			// A failed write only costs the next run a re-simulation.
+			_ = cache.put(key, res)
+		}
+		mu.Lock()
+		results[idx], filled[idx] = res, true
+		executed++
+		if e.OnResult != nil {
+			e.OnResult(res)
+		}
+		mu.Unlock()
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				idx, ok := queues[w].pop()
+				for off := 1; !ok && off < workers; off++ {
+					idx, ok = queues[(w+off)%workers].steal()
+				}
+				if !ok {
+					return
+				}
+				runJob(idx)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	rs.Executed, rs.CacheHits = executed, cacheHits
+	rs.Results = make([]Result, 0, len(jobs))
+	for i := range results {
+		if filled[i] {
+			rs.Results = append(rs.Results, results[i])
+		} else {
+			rs.Skipped++
+		}
+	}
+	rs.reindex()
+	if len(errs) > 0 {
+		if rs.Skipped > 0 {
+			errs = append(errs, fmt.Errorf("campaign: %d job(s) skipped after cancellation", rs.Skipped))
+		}
+		return rs, errors.Join(errs...)
+	}
+	if err := ctx.Err(); err != nil {
+		return rs, err
+	}
+	return rs, nil
+}

@@ -1,0 +1,90 @@
+package campaign
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/prog"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Result is the outcome of one job: the simulator statistics plus the
+// preparation metadata the paper's compile-time tables report. Results
+// are what the cache stores and the exporters emit.
+type Result struct {
+	Bench string    `json:"bench"`
+	Tech  Technique `json:"tech"`
+	Point Point     `json:"point,omitempty"`
+	Stats sim.Stats `json:"stats"`
+	// CompileMS is the instrumentation/analysis wall time.
+	CompileMS float64 `json:"compile_ms"`
+	// GenMS is the program generation+link wall time.
+	GenMS float64 `json:"gen_ms"`
+	// Hints is the number of static hints materialised.
+	Hints int `json:"hints"`
+	// Cached marks a result served from the on-disk cache. It is not
+	// serialised: a cache hit must export byte-identically to the run
+	// that populated it.
+	Cached bool `json:"-"`
+}
+
+// instrumentOptions maps a technique to the compiler pass configuration;
+// ok is false for techniques that run uninstrumented binaries.
+func (t Technique) instrumentOptions() (opt core.Options, ok bool) {
+	switch t {
+	case TechNOOP:
+		return core.Options{Mode: core.ModeNOOP}, true
+	case TechExtension:
+		return core.Options{Mode: core.ModeTag}, true
+	case TechImproved:
+		return core.Options{Mode: core.ModeTag, Improved: true}, true
+	}
+	return core.Options{}, false
+}
+
+// Prepare builds and, for the compiler techniques, instruments the job's
+// benchmark program. It is exposed for drivers (cmd/sdiqsim) that attach
+// probes and run the program themselves.
+func Prepare(job *Job) (*prog.Program, Result, error) {
+	res := Result{Bench: job.Bench, Tech: job.Tech, Point: job.Point}
+	b, ok := workload.ByName(job.Bench)
+	if !ok {
+		return nil, res, fmt.Errorf("%s: unknown benchmark", job.ID())
+	}
+	t0 := time.Now()
+	p := b.Build(job.Seed)
+	res.GenMS = float64(time.Since(t0).Microseconds()) / 1000
+
+	if opt, ok := job.Tech.instrumentOptions(); ok {
+		t1 := time.Now()
+		rep, err := core.Instrument(p, opt)
+		if err != nil {
+			return nil, res, fmt.Errorf("%s: %w", job.ID(), err)
+		}
+		res.CompileMS = float64(time.Since(t1).Microseconds()) / 1000
+		res.Hints = rep.HintsInserted + rep.TagsApplied
+	}
+	return p, res, nil
+}
+
+// Execute runs one job to completion: prepare, simulate, collect stats.
+// It checks ctx once up front; the simulator itself is not interruptible,
+// so cancellation takes effect at job granularity.
+func Execute(ctx context.Context, job *Job) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return Result{Bench: job.Bench, Tech: job.Tech, Point: job.Point}, err
+	}
+	p, res, err := Prepare(job)
+	if err != nil {
+		return res, err
+	}
+	st, err := sim.RunProgram(job.Config, p, job.Budget)
+	if err != nil {
+		return res, fmt.Errorf("%s: %w", job.ID(), err)
+	}
+	res.Stats = st
+	return res, nil
+}

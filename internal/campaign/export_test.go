@@ -1,0 +1,81 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestExportJSONRoundTrip(t *testing.T) {
+	spec := smallSpec()
+	rs, err := (&Engine{Workers: 2}).Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rs.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Spec.Budget != spec.Budget || loaded.Spec.Seed != spec.Seed {
+		t.Error("spec not preserved")
+	}
+	if !loaded.Complete() {
+		t.Error("loaded campaign incomplete")
+	}
+	for _, b := range spec.Benchmarks {
+		for _, tech := range spec.Techniques {
+			want, ok1 := rs.Get(b, tech, nil)
+			got, ok2 := loaded.Get(b, tech, nil)
+			if !ok1 || !ok2 || want.Stats != got.Stats {
+				t.Errorf("%s/%s lost in round trip", b, tech)
+			}
+		}
+	}
+	// Derived metrics work on a loaded campaign — re-plot without re-sim.
+	if loaded.IPCLossPct("gzip", TechNOOP, nil) != rs.IPCLossPct("gzip", TechNOOP, nil) {
+		t.Error("derived metric differs after reload")
+	}
+}
+
+func TestExportReadJSONRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("{nope")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"spec":{},"results":[{"bench":"x","tech":"quantum"}]}`)); err == nil {
+		t.Error("unknown technique accepted")
+	}
+}
+
+func TestExportCSVShape(t *testing.T) {
+	spec := smallSpec()
+	rs, err := (&Engine{Workers: 2}).Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rs.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 1+len(rs.Results) {
+		t.Fatalf("csv lines = %d, want header + %d rows", len(lines), len(rs.Results))
+	}
+	header := strings.Split(lines[0], ",")
+	for _, row := range lines[1:] {
+		if got := len(strings.Split(row, ",")); got != len(header) {
+			t.Errorf("row has %d fields, header %d: %s", got, len(header), row)
+		}
+	}
+	if !strings.Contains(lines[0], "ipc_loss_pct") {
+		t.Errorf("header missing derived metrics: %s", lines[0])
+	}
+	// Baseline rows carry zero loss; technique rows carry a number.
+	if !strings.Contains(buf.String(), "gzip,NOOP") {
+		t.Error("missing gzip NOOP row")
+	}
+}

@@ -1,0 +1,122 @@
+package campaign
+
+import (
+	"fmt"
+
+	"repro/internal/power"
+	"repro/internal/sim"
+)
+
+// ResultSet holds every completed result of a campaign, in the spec's
+// deterministic job order, with an index for point queries. It is the
+// queryable store the harness and exporters read; a set loaded from a
+// JSON export is indistinguishable from a freshly-simulated one.
+type ResultSet struct {
+	Spec    Spec     `json:"spec"`
+	Results []Result `json:"results"`
+
+	// Executed counts jobs actually simulated, CacheHits jobs served
+	// from the on-disk cache, Skipped jobs abandoned after cancellation.
+	Executed  int `json:"-"`
+	CacheHits int `json:"-"`
+	Skipped   int `json:"-"`
+
+	index map[string]int
+}
+
+func resultKey(bench string, tech Technique, pt Point) string {
+	return bench + "\x00" + string(tech) + "\x00" + pt.String()
+}
+
+// reindex rebuilds the lookup index from Results.
+func (rs *ResultSet) reindex() {
+	rs.index = make(map[string]int, len(rs.Results))
+	for i := range rs.Results {
+		r := &rs.Results[i]
+		rs.index[resultKey(r.Bench, r.Tech, r.Point)] = i
+	}
+}
+
+// Get returns the result for one (benchmark, technique, point); the base
+// campaign's single point is nil.
+func (rs *ResultSet) Get(bench string, tech Technique, pt Point) (Result, bool) {
+	if rs.index == nil {
+		rs.reindex()
+	}
+	i, ok := rs.index[resultKey(bench, tech, pt)]
+	if !ok {
+		return Result{}, false
+	}
+	return rs.Results[i], true
+}
+
+// MustGet is Get for callers that have already checked completeness.
+func (rs *ResultSet) MustGet(bench string, tech Technique, pt Point) Result {
+	r, ok := rs.Get(bench, tech, pt)
+	if !ok {
+		panic(fmt.Sprintf("campaign: no result for %s/%s/%s", bench, tech, pt))
+	}
+	return r
+}
+
+// Benchmarks lists the campaign's benchmarks in spec order.
+func (rs *ResultSet) Benchmarks() []string { return rs.Spec.benchmarks() }
+
+// Techniques lists the campaign's techniques in spec order.
+func (rs *ResultSet) Techniques() []Technique { return rs.Spec.techniques() }
+
+// Points lists the campaign's sweep points in expansion order.
+func (rs *ResultSet) Points() []Point { return rs.Spec.Points() }
+
+// Complete reports whether every job of the spec has a result.
+func (rs *ResultSet) Complete() bool {
+	jobs, err := rs.Spec.Jobs()
+	if err != nil {
+		return false
+	}
+	return len(rs.Results) == len(jobs)
+}
+
+// ConfigAt returns the concrete configuration at a sweep point.
+func (rs *ResultSet) ConfigAt(pt Point) (sim.Config, error) { return rs.Spec.configAt(pt) }
+
+// --- derived metrics ---
+// The reference for every "vs baseline" metric is the TechBaseline run
+// of the same benchmark at the same sweep point.
+
+// IPCLossPct returns the IPC loss of tech vs the baseline at a point.
+func (rs *ResultSet) IPCLossPct(bench string, tech Technique, pt Point) float64 {
+	base, ok1 := rs.Get(bench, TechBaseline, pt)
+	t, ok2 := rs.Get(bench, tech, pt)
+	if !ok1 || !ok2 || base.Stats.IPC() == 0 {
+		return 0
+	}
+	return (1 - t.Stats.IPC()/base.Stats.IPC()) * 100
+}
+
+// OccupancyReductionPct returns the IQ occupancy reduction vs baseline.
+func (rs *ResultSet) OccupancyReductionPct(bench string, tech Technique, pt Point) float64 {
+	base, ok1 := rs.Get(bench, TechBaseline, pt)
+	t, ok2 := rs.Get(bench, tech, pt)
+	if !ok1 || !ok2 || base.Stats.AvgIQOccupancy() == 0 {
+		return 0
+	}
+	return (1 - t.Stats.AvgIQOccupancy()/base.Stats.AvgIQOccupancy()) * 100
+}
+
+// Savings returns the power savings of tech vs the baseline at a point,
+// computed with the spec's power parameters on the point's bank counts.
+func (rs *ResultSet) Savings(bench string, tech Technique, pt Point) (power.Savings, error) {
+	cfg, err := rs.ConfigAt(pt)
+	if err != nil {
+		return power.Savings{}, err
+	}
+	base, ok1 := rs.Get(bench, TechBaseline, pt)
+	t, ok2 := rs.Get(bench, tech, pt)
+	if !ok1 || !ok2 {
+		return power.Savings{}, fmt.Errorf("campaign: missing results for %s/%s/%s", bench, tech, pt)
+	}
+	iqBanks := cfg.IQ.Entries / cfg.IQ.BankSize
+	rfBanks := cfg.IntRF.Regs / cfg.IntRF.BankSize
+	return rs.Spec.Params.Compute(&base.Stats, &t.Stats, iqBanks, rfBanks), nil
+}

@@ -1,0 +1,160 @@
+package campaign
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestSpecExpansionOrderAndCount(t *testing.T) {
+	spec := DefaultSpec(1000)
+	spec.Benchmarks = []string{"gzip", "mcf"}
+	spec.Techniques = []Technique{TechBaseline, TechNOOP}
+	spec.Axes = []Axis{{Name: "iq.entries", Values: []int{16, 80}}}
+	jobs, err := spec.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 2*2*2 {
+		t.Fatalf("jobs = %d, want 8", len(jobs))
+	}
+	// Points outermost, then benchmarks, then techniques.
+	wantIDs := []string{
+		"gzip/baseline/iq.entries=16", "gzip/NOOP/iq.entries=16",
+		"mcf/baseline/iq.entries=16", "mcf/NOOP/iq.entries=16",
+		"gzip/baseline/iq.entries=80", "gzip/NOOP/iq.entries=80",
+		"mcf/baseline/iq.entries=80", "mcf/NOOP/iq.entries=80",
+	}
+	for i, want := range wantIDs {
+		if got := jobs[i].ID(); got != want {
+			t.Errorf("job %d = %s, want %s", i, got, want)
+		}
+	}
+	// Axis values land in the derived config.
+	if jobs[0].Config.IQ.Entries != 16 || jobs[4].Config.IQ.Entries != 80 {
+		t.Errorf("axis not applied: %d/%d", jobs[0].Config.IQ.Entries, jobs[4].Config.IQ.Entries)
+	}
+	// Techniques set the control mode.
+	if jobs[0].Config.Control == jobs[1].Config.Control {
+		t.Error("baseline and NOOP jobs share a control mode")
+	}
+}
+
+func TestSpecDefaultsToFullGrid(t *testing.T) {
+	spec := DefaultSpec(1000)
+	jobs, err := spec.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(workload.Suite()) * len(AllTechniques())
+	if len(jobs) != want {
+		t.Errorf("jobs = %d, want %d", len(jobs), want)
+	}
+}
+
+func TestSpecCrossProductPoints(t *testing.T) {
+	spec := DefaultSpec(1000)
+	spec.Axes = []Axis{
+		{Name: "iq.entries", Values: []int{16, 32, 48}},
+		{Name: "fetchwidth", Values: []int{4, 8}},
+	}
+	pts := spec.Points()
+	if len(pts) != 6 {
+		t.Fatalf("points = %d, want 6", len(pts))
+	}
+	if pts[0].String() != "iq.entries=16,fetchwidth=4" {
+		t.Errorf("first point = %q", pts[0])
+	}
+	if pts[5].String() != "iq.entries=48,fetchwidth=8" {
+		t.Errorf("last point = %q", pts[5])
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	spec := DefaultSpec(1000)
+	spec.Axes = []Axis{{Name: "warp.speed", Values: []int{9}}}
+	if _, err := spec.Jobs(); err == nil || !strings.Contains(err.Error(), "unknown axis") {
+		t.Errorf("unknown axis not rejected: %v", err)
+	}
+	spec = DefaultSpec(1000)
+	spec.Techniques = []Technique{"quantum"}
+	if _, err := spec.Jobs(); err == nil || !strings.Contains(err.Error(), "unknown technique") {
+		t.Errorf("unknown technique not rejected: %v", err)
+	}
+	spec = DefaultSpec(1000)
+	spec.Axes = []Axis{{Name: "iq.entries", Values: []int{12}}} // not a multiple of bank size 8
+	if _, err := spec.Jobs(); err == nil || !strings.Contains(err.Error(), "bank") {
+		t.Errorf("bad bank multiple not rejected: %v", err)
+	}
+}
+
+func TestParseTechnique(t *testing.T) {
+	cases := map[string]Technique{
+		"baseline": TechBaseline, "noop": TechNOOP, "NOOP": TechNOOP,
+		"tag": TechExtension, "Extension": TechExtension,
+		"improved": TechImproved, "abella": TechAbella, "adaptive": TechAbella,
+	}
+	for in, want := range cases {
+		got, err := ParseTechnique(in)
+		if err != nil || got != want {
+			t.Errorf("ParseTechnique(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseTechnique("nope"); err == nil {
+		t.Error("bad technique accepted")
+	}
+}
+
+func TestParseAxes(t *testing.T) {
+	axes, err := ParseAxes("iq.entries=16,32,48,64,80; fetchwidth=4,8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(axes) != 2 || len(axes[0].Values) != 5 || axes[1].Name != "fetchwidth" {
+		t.Errorf("axes = %+v", axes)
+	}
+	if axes, err := ParseAxes("  "); err != nil || axes != nil {
+		t.Errorf("blank sweep = %v, %v", axes, err)
+	}
+	if _, err := ParseAxes("iq.entries"); err == nil {
+		t.Error("missing values accepted")
+	}
+	if _, err := ParseAxes("iq.entries=a,b"); err == nil {
+		t.Error("non-numeric values accepted")
+	}
+}
+
+func TestJobKeyIdentity(t *testing.T) {
+	spec := DefaultSpec(1000)
+	spec.Benchmarks = []string{"gzip"}
+	spec.Techniques = []Technique{TechBaseline}
+	jobs, err := spec.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	k1, err := JobKey(&jobs[0], spec.Params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, _ := JobKey(&jobs[0], spec.Params)
+	if k1 != k2 {
+		t.Error("key not deterministic")
+	}
+	// Any identity-bearing change must move the key.
+	mut := jobs[0]
+	mut.Budget++
+	if k, _ := JobKey(&mut, spec.Params); k == k1 {
+		t.Error("budget change kept the key")
+	}
+	mut = jobs[0]
+	mut.Config.IQ.Entries = 16
+	if k, _ := JobKey(&mut, spec.Params); k == k1 {
+		t.Error("config change kept the key")
+	}
+	params := spec.Params
+	params.IQBankLeak *= 2
+	if k, _ := JobKey(&jobs[0], params); k == k1 {
+		t.Error("power-params change kept the key")
+	}
+}

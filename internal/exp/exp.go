@@ -2,17 +2,19 @@
 // each technique, runs the timing simulator, applies the power model, and
 // regenerates every table and figure of the paper's evaluation (section
 // 5). See DESIGN.md section 4 for the experiment index.
+//
+// Execution is delegated to the campaign engine (internal/campaign):
+// RunSuite builds a campaign spec for the paper's grid and SuiteResults
+// is a thin view over the engine's ResultSet, so the harness inherits
+// parallelism, cancellation and on-disk result caching.
 package exp
 
 import (
+	"context"
 	"fmt"
-	"runtime"
-	"sync"
-	"time"
 
-	"repro/internal/core"
+	"repro/internal/campaign"
 	"repro/internal/power"
-	"repro/internal/prog"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -54,6 +56,21 @@ func (t Technique) String() string {
 	}
 }
 
+// Campaign returns the campaign engine's name for the technique.
+func (t Technique) Campaign() campaign.Technique {
+	return campaign.Technique(t.String())
+}
+
+// techniqueOf inverts Campaign; ok is false for unknown names.
+func techniqueOf(ct campaign.Technique) (Technique, bool) {
+	for t := TechBaseline; t < numTechniques; t++ {
+		if t.Campaign() == ct {
+			return t, true
+		}
+	}
+	return 0, false
+}
+
 // AllTechniques lists every technique including the baseline.
 func AllTechniques() []Technique {
 	return []Technique{TechBaseline, TechNOOP, TechExtension, TechImproved, TechAbella}
@@ -71,11 +88,13 @@ type RunResult struct {
 
 // Runner executes the evaluation.
 type Runner struct {
-	Budget   int64 // committed real instructions per run
-	Seed     int64
-	Params   power.Params
-	Config   sim.Config // base configuration; technique fields overridden
-	Parallel int        // worker count; 0 = GOMAXPROCS
+	Budget     int64 // committed real instructions per run
+	Seed       int64
+	Params     power.Params
+	Config     sim.Config // base configuration; technique fields overridden
+	Parallel   int        // worker count; 0 = GOMAXPROCS
+	CacheDir   string     // on-disk result cache; "" = no caching
+	Benchmarks []string   // benchmark subset; empty = full suite
 }
 
 // NewRunner returns a runner with the paper's configuration.
@@ -88,132 +107,115 @@ func NewRunner(budget int64) *Runner {
 	}
 }
 
-// prepare builds and instruments the benchmark program for a technique.
-func (r *Runner) prepare(b workload.Benchmark, tech Technique) (*prog.Program, RunResult, error) {
-	res := RunResult{Bench: b.Name, Tech: tech}
-	t0 := time.Now()
-	p := b.Build(r.Seed)
-	res.GenMS = float64(time.Since(t0).Microseconds()) / 1000
-
-	opt := core.Options{}
-	switch tech {
-	case TechNOOP:
-		opt.Mode = core.ModeNOOP
-	case TechExtension:
-		opt.Mode = core.ModeTag
-	case TechImproved:
-		opt.Mode = core.ModeTag
-		opt.Improved = true
-	default:
-		return p, res, nil
+// Spec builds the campaign specification for the runner's grid under the
+// given techniques.
+func (r *Runner) Spec(techs []Technique) campaign.Spec {
+	cts := make([]campaign.Technique, len(techs))
+	for i, t := range techs {
+		cts[i] = t.Campaign()
 	}
-	t1 := time.Now()
-	rep, err := core.Instrument(p, opt)
-	if err != nil {
-		return nil, res, fmt.Errorf("%s/%s: %w", b.Name, tech, err)
+	return campaign.Spec{
+		Name:       "paper-evaluation",
+		Benchmarks: r.Benchmarks,
+		Techniques: cts,
+		Budget:     r.Budget,
+		Seed:       r.Seed,
+		Base:       r.Config,
+		Params:     r.Params,
 	}
-	res.CompileMS = float64(time.Since(t1).Microseconds()) / 1000
-	res.Hints = rep.HintsInserted + rep.TagsApplied
-	return p, res, nil
 }
 
-// simConfig derives the simulator configuration for a technique.
-func (r *Runner) simConfig(tech Technique) sim.Config {
-	cfg := r.Config
-	switch tech {
-	case TechNOOP, TechExtension, TechImproved:
-		cfg.Control = sim.ControlHints
-	case TechAbella:
-		cfg.Control = sim.ControlAdaptive
-	default:
-		cfg.Control = sim.ControlNone
-	}
-	return cfg
+// engine builds the campaign engine for this runner.
+func (r *Runner) engine() *campaign.Engine {
+	return &campaign.Engine{Workers: r.Parallel, CacheDir: r.CacheDir}
 }
 
 // Run executes one benchmark under one technique.
 func (r *Runner) Run(b workload.Benchmark, tech Technique) (RunResult, error) {
-	p, res, err := r.prepare(b, tech)
+	spec := r.Spec([]Technique{tech})
+	spec.Benchmarks = []string{b.Name}
+	jobs, err := spec.Jobs()
 	if err != nil {
-		return res, err
+		return RunResult{Bench: b.Name, Tech: tech}, err
 	}
-	st, err := sim.RunProgram(r.simConfig(tech), p, r.Budget)
-	if err != nil {
-		return res, fmt.Errorf("%s/%s: %w", b.Name, tech, err)
+	res, err := campaign.Execute(context.Background(), &jobs[0])
+	return runResultOf(res), err
+}
+
+// runResultOf converts an engine result into the harness view.
+func runResultOf(cr campaign.Result) RunResult {
+	t, _ := techniqueOf(cr.Tech)
+	return RunResult{
+		Bench:     cr.Bench,
+		Tech:      t,
+		Stats:     cr.Stats,
+		CompileMS: cr.CompileMS,
+		GenMS:     cr.GenMS,
+		Hints:     cr.Hints,
 	}
-	res.Stats = st
-	return res, nil
 }
 
 // SuiteResults holds every run of the evaluation, indexed by benchmark
-// name and technique.
+// name and technique — the harness view over a campaign ResultSet.
 type SuiteResults struct {
 	Benchmarks []string
 	Results    map[string]map[Technique]RunResult
 	Params     power.Params
 	IQBanks    int
 	RFBanks    int
+	// Campaign is the underlying result set (export, cache statistics).
+	Campaign *campaign.ResultSet
 }
 
 // RunSuite runs all benchmarks under the given techniques in parallel.
 func (r *Runner) RunSuite(techs []Technique) (*SuiteResults, error) {
-	benches := workload.Suite()
-	out := &SuiteResults{
-		Results: map[string]map[Technique]RunResult{},
-		Params:  r.Params,
-		IQBanks: r.Config.IQ.Entries / r.Config.IQ.BankSize,
-		RFBanks: r.Config.IntRF.Regs / r.Config.IntRF.BankSize,
-	}
-	for _, b := range benches {
-		out.Benchmarks = append(out.Benchmarks, b.Name)
-		out.Results[b.Name] = map[Technique]RunResult{}
-	}
+	return r.RunSuiteContext(context.Background(), techs)
+}
 
-	type job struct {
-		b    workload.Benchmark
-		tech Technique
+// RunSuiteContext is RunSuite with cancellation: cancelling ctx stops
+// the campaign at job granularity. On a job failure the engine cancels
+// the rest of the grid and the joined error of every failure observed is
+// returned.
+func (r *Runner) RunSuiteContext(ctx context.Context, techs []Technique) (*SuiteResults, error) {
+	rs, err := r.engine().Run(ctx, r.Spec(techs))
+	if err != nil {
+		return nil, err
 	}
-	var jobs []job
-	for _, b := range benches {
-		for _, t := range techs {
-			jobs = append(jobs, job{b, t})
+	return FromCampaign(rs)
+}
+
+// FromCampaign builds the harness view over a campaign result set — the
+// bridge that lets figures render from a freshly-simulated campaign or
+// one loaded from a JSON export alike. The campaign must be a base
+// (no-axes) grid whose techniques are the paper's.
+func FromCampaign(rs *campaign.ResultSet) (*SuiteResults, error) {
+	if len(rs.Spec.Axes) > 0 {
+		return nil, fmt.Errorf("exp: campaign %q sweeps axes; figures need a base grid", rs.Spec.Name)
+	}
+	if rs.Spec.Base.IQ.BankSize < 1 || rs.Spec.Base.IntRF.BankSize < 1 {
+		return nil, fmt.Errorf("exp: campaign %q has no base configuration (truncated export?)", rs.Spec.Name)
+	}
+	out := &SuiteResults{
+		Results:  map[string]map[Technique]RunResult{},
+		Params:   rs.Spec.Params,
+		IQBanks:  rs.Spec.Base.IQ.Entries / rs.Spec.Base.IQ.BankSize,
+		RFBanks:  rs.Spec.Base.IntRF.Regs / rs.Spec.Base.IntRF.BankSize,
+		Campaign: rs,
+	}
+	for _, b := range rs.Benchmarks() {
+		out.Benchmarks = append(out.Benchmarks, b)
+		out.Results[b] = map[Technique]RunResult{}
+	}
+	for _, cr := range rs.Results {
+		t, ok := techniqueOf(cr.Tech)
+		if !ok {
+			return nil, fmt.Errorf("exp: campaign has non-paper technique %q", cr.Tech)
 		}
-	}
-	workers := r.Parallel
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(jobs) {
-		workers = len(jobs)
-	}
-	var (
-		mu       sync.Mutex
-		firstErr error
-		wg       sync.WaitGroup
-	)
-	ch := make(chan job)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range ch {
-				res, err := r.Run(j.b, j.tech)
-				mu.Lock()
-				if err != nil && firstErr == nil {
-					firstErr = err
-				}
-				out.Results[j.b.Name][j.tech] = res
-				mu.Unlock()
-			}
-		}()
-	}
-	for _, j := range jobs {
-		ch <- j
-	}
-	close(ch)
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+		if _, ok := out.Results[cr.Bench]; !ok {
+			out.Benchmarks = append(out.Benchmarks, cr.Bench)
+			out.Results[cr.Bench] = map[Technique]RunResult{}
+		}
+		out.Results[cr.Bench][t] = runResultOf(cr)
 	}
 	return out, nil
 }

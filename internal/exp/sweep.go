@@ -1,0 +1,53 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/campaign"
+)
+
+// SweepReport renders a multi-point campaign as one aligned table per
+// technique: benchmarks down, sweep points across, IPC at each cell with
+// the loss vs that point's baseline in parentheses. It is the textual
+// view of what ResultSet.WriteCSV exports.
+func SweepReport(rs *campaign.ResultSet) string {
+	points := rs.Points()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Campaign %q: %d benchmarks x %d techniques x %d points (budget %d, seed %d)\n",
+		rs.Spec.Name, len(rs.Benchmarks()), len(rs.Techniques()), len(points),
+		rs.Spec.Budget, rs.Spec.Seed)
+	if rs.CacheHits > 0 || rs.Executed > 0 {
+		fmt.Fprintf(&sb, "%d simulated, %d served from cache\n", rs.Executed, rs.CacheHits)
+	}
+	cols := make([]string, 0, 1+len(points))
+	cols = append(cols, "bench")
+	for _, pt := range points {
+		label := pt.String()
+		if label == "" {
+			label = "base"
+		}
+		cols = append(cols, label)
+	}
+	for _, tech := range rs.Techniques() {
+		t := newTable(fmt.Sprintf("\n%s: IPC (loss%% vs baseline at the same point)", tech), cols...)
+		for _, bench := range rs.Benchmarks() {
+			row := []string{bench}
+			for _, pt := range points {
+				res, ok := rs.Get(bench, tech, pt)
+				switch {
+				case !ok:
+					row = append(row, "-")
+				case tech == campaign.TechBaseline:
+					row = append(row, fmt.Sprintf("%.3f", res.Stats.IPC()))
+				default:
+					row = append(row, fmt.Sprintf("%.3f (%+.2f%%)",
+						res.Stats.IPC(), rs.IPCLossPct(bench, tech, pt)))
+				}
+			}
+			t.addRow(row...)
+		}
+		sb.WriteString(t.String())
+	}
+	return sb.String()
+}

@@ -12,6 +12,7 @@
 //	     [-config cfg.json] [-dumpconfig]
 //	     [-sweep "axis=v1,v2,...;axis=..."] [-cache DIR]
 //	     [-export FILE.json|FILE.csv] [-load FILE.json]
+//	     [-cpuprofile FILE] [-memprofile FILE]
 //
 // The budget is the number of committed (real) instructions per run; the
 // paper uses 100M, the default here is 500k which reproduces the same
@@ -23,6 +24,10 @@
 // static queue sizes. -cache makes re-runs of any unchanged cell
 // near-instant. -export saves the campaign (spec + results); -load
 // renders tables/figures from a saved campaign without simulating.
+//
+// -cpuprofile and -memprofile write pprof profiles of the run (the whole
+// campaign, including the worker pool), so simulator performance work can
+// be diagnosed with `go tool pprof` without editing code.
 package main
 
 import (
@@ -31,7 +36,10 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strings"
+	"sync"
 
 	"repro/internal/campaign"
 	"repro/internal/exp"
@@ -52,7 +60,12 @@ func main() {
 	cacheDir := flag.String("cache", "", "directory for the on-disk result cache")
 	exportPath := flag.String("export", "", "write the campaign to FILE (.json or .csv)")
 	loadPath := flag.String("load", "", "load a saved campaign JSON instead of simulating")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to FILE")
+	memProfile := flag.String("memprofile", "", "write a heap profile to FILE at exit")
 	flag.Parse()
+
+	setupProfiles(*cpuProfile, *memProfile)
+	defer flushProfiles()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -216,7 +229,56 @@ func export(path string, rs *campaign.ResultSet) {
 	}
 }
 
+// flushProfiles stops the CPU profile and writes the heap profile; it is
+// a no-op until setupProfiles installs it. fail() must call it because
+// os.Exit skips defers — a profile of a run that errored or was
+// interrupted is often exactly the one wanted.
+var flushProfiles = func() {}
+
+// setupProfiles starts the requested pprof collection and installs
+// flushProfiles (idempotent, so the deferred call and a fail() can race
+// harmlessly).
+func setupProfiles(cpuPath, memPath string) {
+	if cpuPath == "" && memPath == "" {
+		return
+	}
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			fail(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			fail(err)
+		}
+		cpuFile = f
+	}
+	var once sync.Once
+	flushProfiles = func() {
+		once.Do(func() {
+			if cpuFile != nil {
+				pprof.StopCPUProfile()
+				cpuFile.Close()
+			}
+			if memPath != "" {
+				f, err := os.Create(memPath)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "sdiq: %v\n", err)
+					return
+				}
+				defer f.Close()
+				runtime.GC()
+				if err := pprof.WriteHeapProfile(f); err != nil {
+					fmt.Fprintf(os.Stderr, "sdiq: %v\n", err)
+				}
+			}
+		})
+	}
+}
+
 func fail(err error) {
+	flushProfiles()
 	fmt.Fprintf(os.Stderr, "sdiq: %v\n", err)
 	os.Exit(1)
 }

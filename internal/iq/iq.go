@@ -16,7 +16,10 @@
 // the wakeup counts of the paper's figure 1 exactly (see the tests).
 package iq
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // OperandsPerEntry is the number of source-operand CAM fields per entry.
 const OperandsPerEntry = 2
@@ -91,10 +94,31 @@ type Queue struct {
 	newHead  int64 // oldest position of the current program region
 	tail     int64 // next position to fill
 
-	count     int // valid entries
-	newCount  int // valid entries in [newHead, tail)
-	waiting   int // waiting operands over all valid entries
-	bankCount []int
+	count      int // valid entries
+	newCount   int // valid entries in [newHead, tail)
+	waiting    int // waiting operands over all valid entries
+	bankCount  []int
+	bankOfSlot []int // slot -> bank, precomputed (avoids div on hot paths)
+	banksOn    int   // banks with bankCount > 0
+
+	// Event-indexed wakeup: tag -> subscribers dispatched with a waiting
+	// operand on that tag. Entries are validated lazily against posOf (a
+	// slot may have been reissued), and a list is consumed whole on
+	// broadcast — every live subscriber of a tag wakes on that tag. The
+	// table is a dense slice (tags are small physical-register numbers,
+	// plus an FP offset) grown on demand, so broadcast and dispatch avoid
+	// map hashing on the hot path.
+	waiters [][]waiter
+	posOf   []int64 // virtual position of each slot's current occupant
+
+	// Ready list: bit set = slot holds a valid entry whose operands have
+	// all arrived. Iterated oldest-first by ForEachReady.
+	ready      []uint64
+	readyCount int
+
+	// reference switches Broadcast to the original full-window scan; the
+	// differential tests run an indexed and a reference queue side by side.
+	reference bool
 
 	maxNewRange int // 0 = unlimited (no compiler control)
 	sizeLimit   int // 0 = unlimited; hardware-adaptive cap on valid entries
@@ -117,14 +141,36 @@ func New(cfg Config) (*Queue, error) {
 		// even though only Entries slots are logically occupied.
 		ringSize = cfg.Entries * 4
 	}
+	bankOfSlot := make([]int, ringSize)
+	for s := range bankOfSlot {
+		bankOfSlot[s] = s / cfg.BankSize
+	}
 	return &Queue{
-		cfg:       cfg,
-		banks:     cfg.Entries / cfg.BankSize,
-		ringSize:  ringSize,
-		ring:      make([]Entry, ringSize),
-		bankCount: make([]int, ringSize/cfg.BankSize),
+		cfg:        cfg,
+		banks:      cfg.Entries / cfg.BankSize,
+		ringSize:   ringSize,
+		ring:       make([]Entry, ringSize),
+		bankCount:  make([]int, ringSize/cfg.BankSize),
+		bankOfSlot: bankOfSlot,
+		posOf:      make([]int64, ringSize),
+		ready:      make([]uint64, (ringSize+63)/64),
 	}, nil
 }
+
+// waiter records one subscribed operand in the wakeup index. pos pins the
+// subscription to a particular occupancy of the slot: if the entry has
+// issued and the slot been refilled, posOf no longer matches and the
+// subscriber is stale.
+type waiter struct {
+	pos int64
+	op  int
+}
+
+// SetReference switches Broadcast between the indexed wakeup (default)
+// and the original full-window scan. The two are behaviourally identical;
+// the scan is kept as the reference implementation for the differential
+// and fuzz tests.
+func (q *Queue) SetReference(on bool) { q.reference = on }
 
 // MustNew is New that panics on error.
 func MustNew(cfg Config) *Queue {
@@ -159,16 +205,13 @@ func (q *Queue) WaitingOperands() int { return q.waiting }
 func (q *Queue) MaxNewRange() int { return q.maxNewRange }
 
 // BanksOn returns how many banks hold at least one valid entry; the rest
-// are gated off this cycle.
-func (q *Queue) BanksOn() int {
-	on := 0
-	for _, c := range q.bankCount {
-		if c > 0 {
-			on++
-		}
-	}
-	return on
-}
+// are gated off this cycle. The count is maintained incrementally on
+// dispatch and issue.
+func (q *Queue) BanksOn() int { return q.banksOn }
+
+// ReadyCount returns the number of valid entries whose operands have all
+// arrived (the ready-list population).
+func (q *Queue) ReadyCount() int { return q.readyCount }
 
 func (q *Queue) slot(pos int64) *Entry { return &q.ring[int(pos%int64(q.ringSize))] }
 
@@ -264,45 +307,104 @@ func (q *Queue) Dispatch(id int64, tags [OperandsPerEntry]int, waiting [Operands
 		return 0, false
 	}
 	pos = q.tail
-	e := q.slot(pos)
+	s := int(pos % int64(q.ringSize))
+	e := &q.ring[s]
 	*e = Entry{Valid: true, ID: id, Tag: tags, Waiting: waiting}
+	q.posOf[s] = pos
 	for i := 0; i < OperandsPerEntry; i++ {
 		if tags[i] < 0 {
 			e.Waiting[i] = false
 		}
 		if e.Waiting[i] {
 			q.waiting++
+			q.subscribe(tags[i], waiter{pos: pos, op: i})
 		}
+	}
+	if e.Ready() {
+		q.markReady(s)
 	}
 	q.tail++
 	q.count++
 	q.newCount++
-	q.bankCount[q.bankOf(pos)]++
+	b := q.bankOfSlot[s]
+	if q.bankCount[b] == 0 {
+		q.banksOn++
+	}
+	q.bankCount[b]++
 	q.Stats.Dispatches++
 	return pos, true
+}
+
+// subscribe records a waiting operand in the wakeup index, growing the
+// dense tag table on first sight of a tag.
+func (q *Queue) subscribe(tag int, w waiter) {
+	if tag >= len(q.waiters) {
+		grown := make([][]waiter, tag+1)
+		copy(grown, q.waiters)
+		q.waiters = grown
+	}
+	q.waiters[tag] = append(q.waiters[tag], w)
+}
+
+func (q *Queue) markReady(slot int) {
+	q.ready[slot>>6] |= 1 << uint(slot&63)
+	q.readyCount++
+}
+
+func (q *Queue) clearReady(slot int) {
+	w := slot >> 6
+	bit := uint64(1) << uint(slot&63)
+	if q.ready[w]&bit != 0 {
+		q.ready[w] &^= bit
+		q.readyCount--
+	}
 }
 
 // Issue removes the valid entry at pos (it has been selected and read its
 // payload). The head and new_head pointers slide past any invalid entries
 // they now point to, exactly like the paper's figure 2.
 func (q *Queue) Issue(pos int64) {
-	e := q.slot(pos)
+	s := int(pos % int64(q.ringSize))
+	e := &q.ring[s]
 	if !e.Valid {
 		panic(fmt.Sprintf("iq: issuing invalid entry at pos %d", pos))
 	}
 	for i := 0; i < OperandsPerEntry; i++ {
 		if e.Waiting[i] {
 			q.waiting--
+			q.unsubscribe(e.Tag[i], pos, i)
 		}
 	}
 	e.Valid = false
+	q.clearReady(s)
 	q.count--
 	if pos >= q.newHead {
 		q.newCount--
 	}
-	q.bankCount[q.bankOf(pos)]--
+	b := q.bankOfSlot[s]
+	q.bankCount[b]--
+	if q.bankCount[b] == 0 {
+		q.banksOn--
+	}
 	q.Stats.Issues++
 	q.advanceHeads()
+}
+
+// unsubscribe removes one waiter from the wakeup index. It only runs when
+// an entry is issued with operands still waiting — a path the simulator
+// never takes (only ready entries issue) but the Queue API permits.
+func (q *Queue) unsubscribe(tag int, pos int64, op int) {
+	if tag < 0 || tag >= len(q.waiters) {
+		return
+	}
+	list := q.waiters[tag]
+	for i := range list {
+		if list[i].pos == pos && list[i].op == op {
+			list[i] = list[len(list)-1]
+			q.waiters[tag] = list[:len(list)-1]
+			return
+		}
+	}
 }
 
 func (q *Queue) advanceHeads() {
@@ -331,14 +433,64 @@ func (q *Queue) BeginCycle() {
 
 // Broadcast wakes all operands waiting on tag and charges wakeup energy
 // under the three gating schemes. It returns the number of operands woken.
+//
+// The energy accounting is independent of the wakeup mechanism: it always
+// charges the latched CAM populations (what the modelled hardware
+// precharges), whether the simulator finds the woken operands through the
+// tag index or the reference scan.
 func (q *Queue) Broadcast(tag int) int {
 	q.Stats.Broadcasts++
 	q.Stats.GatedWakeups += int64(q.latchedWaiting)
 	q.Stats.NonEmptyWakeups += int64(OperandsPerEntry * q.latchedCount)
 	q.Stats.UngatedWakeups += int64(OperandsPerEntry * q.cfg.Entries)
+	var woken int
+	if q.reference {
+		woken = q.broadcastScan(tag)
+	} else {
+		woken = q.broadcastIndexed(tag)
+	}
+	q.Stats.Woken += int64(woken)
+	return woken
+}
+
+// broadcastIndexed consumes the tag's subscriber list. A subscriber is
+// stale when its slot has been reissued (posOf mismatch) or its operand
+// already woke; every live subscriber necessarily waits on this tag, so
+// the whole list empties.
+func (q *Queue) broadcastIndexed(tag int) int {
+	if tag < 0 || tag >= len(q.waiters) {
+		return 0
+	}
+	list := q.waiters[tag]
+	if len(list) == 0 {
+		return 0
+	}
+	woken := 0
+	for _, w := range list {
+		s := int(w.pos % int64(q.ringSize))
+		e := &q.ring[s]
+		if !e.Valid || q.posOf[s] != w.pos || !e.Waiting[w.op] {
+			continue
+		}
+		e.Waiting[w.op] = false
+		q.waiting--
+		woken++
+		if e.Ready() {
+			q.markReady(s)
+		}
+	}
+	q.waiters[tag] = list[:0]
+	return woken
+}
+
+// broadcastScan is the original O(window) CAM-style wakeup, kept as the
+// reference implementation. It maintains the same derived state (ready
+// list, index hygiene) so a queue can run entirely in reference mode.
+func (q *Queue) broadcastScan(tag int) int {
 	woken := 0
 	for pos := q.head; pos < q.tail; pos++ {
-		e := q.slot(pos)
+		s := int(pos % int64(q.ringSize))
+		e := &q.ring[s]
 		if !e.Valid {
 			continue
 		}
@@ -349,8 +501,17 @@ func (q *Queue) Broadcast(tag int) int {
 				woken++
 			}
 		}
+		if e.Ready() {
+			w := s >> 6
+			if q.ready[w]&(1<<uint(s&63)) == 0 {
+				q.markReady(s)
+			}
+		}
 	}
-	q.Stats.Woken += int64(woken)
+	// The tag's subscribers (if any) all just woke or were already stale.
+	if tag >= 0 && tag < len(q.waiters) {
+		q.waiters[tag] = q.waiters[tag][:0]
+	}
 	return woken
 }
 
@@ -366,6 +527,54 @@ func (q *Queue) ForEachValid(f func(pos int64, e *Entry) bool) {
 			return
 		}
 	}
+}
+
+// ForEachReady visits ready entries oldest-first (by position, like
+// ForEachValid restricted to Ready entries) using the incrementally
+// maintained ready list, so the cost scales with the ready population
+// rather than the window span. The visitor returns false to stop early;
+// it must not dispatch or issue during the walk.
+func (q *Queue) ForEachReady(f func(pos int64, e *Entry) bool) {
+	if q.readyCount == 0 || q.head == q.tail {
+		return
+	}
+	start := int(q.head % int64(q.ringSize))
+	span := int(q.tail - q.head)
+	end := start + span
+	if end <= q.ringSize {
+		q.scanReady(start, end, q.head-int64(start), f)
+		return
+	}
+	if !q.scanReady(start, q.ringSize, q.head-int64(start), f) {
+		return
+	}
+	q.scanReady(0, end-q.ringSize, q.head+int64(q.ringSize-start), f)
+}
+
+// scanReady visits set ready bits in slot range [lo, hi); the virtual
+// position of slot s is base+s. Returns false if the visitor stopped.
+func (q *Queue) scanReady(lo, hi int, base int64, f func(pos int64, e *Entry) bool) bool {
+	if lo >= hi {
+		return true
+	}
+	first, last := lo>>6, (hi-1)>>6
+	for w := first; w <= last; w++ {
+		word := q.ready[w]
+		if w == first {
+			word &= ^uint64(0) << uint(lo&63)
+		}
+		if w == last && (hi&63) != 0 {
+			word &= ^uint64(0) >> uint(64-hi&63)
+		}
+		for word != 0 {
+			s := w<<6 + bits.TrailingZeros64(word)
+			word &= word - 1
+			if !f(base+int64(s), &q.ring[s]) {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // Head, NewHead, Tail expose the virtual pointers (tests, debugging).
@@ -385,7 +594,7 @@ func (q *Queue) CheckInvariants() error {
 	if q.cfg.Collapsible && q.count > q.cfg.Entries {
 		return fmt.Errorf("count %d exceeds capacity %d", q.count, q.cfg.Entries)
 	}
-	count, waiting, newCount := 0, 0, 0
+	count, waiting, newCount, ready := 0, 0, 0, 0
 	bank := make([]int, len(q.bankCount))
 	for pos := q.head; pos < q.tail; pos++ {
 		e := q.slot(pos)
@@ -397,11 +606,36 @@ func (q *Queue) CheckInvariants() error {
 		if pos >= q.newHead {
 			newCount++
 		}
+		s := int(pos % int64(q.ringSize))
+		if q.posOf[s] != pos {
+			return fmt.Errorf("posOf[%d] = %d, want %d", s, q.posOf[s], pos)
+		}
+		if got := q.ready[s>>6]&(1<<uint(s&63)) != 0; got != e.Ready() {
+			return fmt.Errorf("ready bit for pos %d = %v, entry ready = %v", pos, got, e.Ready())
+		}
+		if e.Ready() {
+			ready++
+		}
 		for i := 0; i < OperandsPerEntry; i++ {
 			if e.Waiting[i] {
 				waiting++
+				if !q.subscribed(e.Tag[i], pos, i) {
+					return fmt.Errorf("waiting operand %d of pos %d (tag %d) missing from wakeup index", i, pos, e.Tag[i])
+				}
 			}
 		}
+	}
+	if ready != q.readyCount {
+		return fmt.Errorf("readyCount %d != recomputed %d", q.readyCount, ready)
+	}
+	banksOn := 0
+	for _, c := range q.bankCount {
+		if c > 0 {
+			banksOn++
+		}
+	}
+	if banksOn != q.banksOn {
+		return fmt.Errorf("banksOn %d != recomputed %d", q.banksOn, banksOn)
 	}
 	if count != q.count {
 		return fmt.Errorf("count %d != recomputed %d", q.count, count)
@@ -427,4 +661,18 @@ func (q *Queue) CheckInvariants() error {
 		return fmt.Errorf("newCount %d exceeds maxNewRange %d", q.newCount, q.maxNewRange)
 	}
 	return nil
+}
+
+// subscribed reports whether (pos, op) appears in the wakeup index under
+// tag (invariant checking only).
+func (q *Queue) subscribed(tag int, pos int64, op int) bool {
+	if tag < 0 || tag >= len(q.waiters) {
+		return false
+	}
+	for _, w := range q.waiters[tag] {
+		if w.pos == pos && w.op == op {
+			return true
+		}
+	}
+	return false
 }

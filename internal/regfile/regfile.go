@@ -44,6 +44,7 @@ type File struct {
 	freeMask  []uint64 // bit set = free
 	ready     []bool
 	bankCount []int
+	banksOn   int // banks with bankCount > 0
 	live      int
 	renameMap []int
 	Stats     Stats
@@ -72,6 +73,9 @@ func New(cfg Config) (*File, error) {
 	for a := 0; a < cfg.ArchRegs; a++ {
 		f.setFree(a, false)
 		f.ready[a] = true
+		if f.bankCount[a/cfg.BankSize] == 0 {
+			f.banksOn++
+		}
 		f.bankCount[a/cfg.BankSize]++
 		f.live++
 		f.renameMap[a] = a
@@ -109,15 +113,9 @@ func (f *File) Live() int { return f.live }
 func (f *File) FreeCount() int { return f.cfg.Regs - f.live }
 
 // BanksOn returns the number of banks holding at least one live register.
-func (f *File) BanksOn() int {
-	on := 0
-	for _, c := range f.bankCount {
-		if c > 0 {
-			on++
-		}
-	}
-	return on
-}
+// The count is maintained incrementally on allocate and free: it is read
+// on every register access for the power accounting, so it must be O(1).
+func (f *File) BanksOn() int { return f.banksOn }
 
 // Allocate claims the lowest-numbered free register, not ready, and
 // returns it; ok=false if none are free (a rename stall).
@@ -132,6 +130,9 @@ func (f *File) Allocate() (reg int, ok bool) {
 		}
 		f.setFree(r, false)
 		f.ready[r] = false
+		if f.bankCount[r/f.cfg.BankSize] == 0 {
+			f.banksOn++
+		}
 		f.bankCount[r/f.cfg.BankSize]++
 		f.live++
 		f.Stats.Allocs++
@@ -152,6 +153,9 @@ func (f *File) Free(r int) {
 	f.setFree(r, true)
 	f.ready[r] = false
 	f.bankCount[r/f.cfg.BankSize]--
+	if f.bankCount[r/f.cfg.BankSize] == 0 {
+		f.banksOn--
+	}
 	f.live--
 }
 
@@ -205,6 +209,15 @@ func (f *File) CheckInvariants() error {
 	}
 	if live != f.live {
 		return fmt.Errorf("live %d != recomputed %d", f.live, live)
+	}
+	banksOn := 0
+	for _, c := range f.bankCount {
+		if c > 0 {
+			banksOn++
+		}
+	}
+	if banksOn != f.banksOn {
+		return fmt.Errorf("banksOn %d != recomputed %d", f.banksOn, banksOn)
 	}
 	for b := range bank {
 		if bank[b] != f.bankCount[b] {

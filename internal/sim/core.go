@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/adaptive"
 	"repro/internal/bpred"
@@ -40,7 +41,8 @@ type uop struct {
 
 	isLoad, isStore bool
 	addrResolved    bool
-	blocksFetch     bool // mispredicted control transfer: fetch waits on it
+	blocksFetch     bool  // mispredicted control transfer: fetch waits on it
+	storeIdx        int64 // virtual store-ring index (stores only)
 }
 
 type fqEntry struct {
@@ -75,14 +77,35 @@ type Core struct {
 
 	complete [completionRing][]int // cycle%ring -> rob indexes
 
-	// stores in flight (dispatch..commit), FIFO by program order.
-	stores []storeRec
-	loads  int // loads in flight for LSQ occupancy
+	// Stores in flight (dispatch..commit), a FIFO in program order kept in
+	// a fixed ring indexed by virtual position (storeHead..storeTail), like
+	// the issue queue. unresolved counts in-flight stores without a
+	// resolved address; unresolvedFrom is a cursor at the oldest position
+	// that may still be unresolved, advanced lazily — together they answer
+	// loadMayIssue in O(1) amortised instead of a FIFO scan. lastStoreTo
+	// maps an address to the youngest in-flight store writing it; each
+	// store chains to the previous same-address store (prevSameAddr), so
+	// forwarding walks only same-address stores, youngest first.
+	stores         []storeRec
+	storeHead      int64
+	storeTail      int64
+	unresolved     int
+	unresolvedFrom int64
+	lastStoreTo    map[uint64]int64
+	loads          int // loads in flight for LSQ occupancy
+
+	picks []pick // issue-cycle scratch, reused across cycles
+
+	// refSched selects the original scan-based scheduler (linear wakeup,
+	// full-window select, FIFO-scan disambiguation) for differential
+	// testing; see UseReferenceScheduler.
+	refSched bool
 
 	cycle           int64
 	fetchStallUntil int64 // next cycle fetch may proceed (icache miss/bubble)
 	fetchBlocked    bool  // waiting on a mispredicted control transfer
 	lastFetchLine   int   // last I-cache line touched, -1 initially
+	fetchLineShift  int   // log2(IL1 line bytes) when a power of two, else -1
 
 	committedReal  int64
 	committedHints int64
@@ -91,10 +114,26 @@ type Core struct {
 }
 
 type storeRec struct {
-	seq      int64
-	addr     uint64
-	resolved bool
+	seq          int64
+	addr         uint64
+	resolved     bool
+	prevSameAddr int64 // virtual index of the previous store to addr, -1 none
 }
+
+// pick is one selected (issue-queue position, ROB index) pair.
+type pick struct {
+	pos int64
+	idx int
+}
+
+// storeAt returns the in-flight store at virtual index i. The ring is a
+// power of two so the slot computes with a mask, not a division.
+func (c *Core) storeAt(i int64) *storeRec {
+	return &c.stores[int(i)&(len(c.stores)-1)]
+}
+
+// storeCount returns the number of stores in flight.
+func (c *Core) storeCount() int { return int(c.storeTail - c.storeHead) }
 
 // Stats are the run's raw event counts, consumed by the power model and
 // the experiment harness.
@@ -119,6 +158,10 @@ type Stats struct {
 
 	HintsApplied int64
 	Resizes      int64
+
+	// LatencyClamped counts operations whose execution latency exceeded
+	// the completion ring and was clamped to its span (see Core.issue).
+	LatencyClamped int64
 
 	IQ    iq.Stats
 	IntRF regfile.Stats
@@ -190,6 +233,12 @@ func New(cfg Config, stream trace.Stream) (*Core, error) {
 	if cfg.ROBSize <= 0 || cfg.FetchQueueSize <= 0 {
 		return nil, fmt.Errorf("sim: non-positive ROB or fetch queue size")
 	}
+	// Ring capacity: next power of two >= LSQSize (the LSQ check in
+	// dispatch bounds occupancy; extra slots are just unused storage).
+	storeCap := 1
+	for storeCap < cfg.LSQSize {
+		storeCap <<= 1
+	}
 	c := &Core{
 		cfg:           cfg,
 		q:             q,
@@ -200,13 +249,30 @@ func New(cfg Config, stream trace.Stream) (*Core, error) {
 		stream:        stream,
 		rob:           make([]uop, cfg.ROBSize),
 		fq:            make([]fqEntry, cfg.FetchQueueSize),
+		stores:        make([]storeRec, storeCap),
+		lastStoreTo:   make(map[uint64]int64),
+		picks:         make([]pick, 0, cfg.IssueWidth),
 		lastFetchLine: -1,
+	}
+	c.fetchLineShift = -1
+	if lb := mem.IL1.Config().LineBytes; lb > 0 && lb&(lb-1) == 0 {
+		c.fetchLineShift = bits.TrailingZeros(uint(lb))
 	}
 	if cfg.Control == ControlAdaptive {
 		c.ctrl = adaptive.New(cfg.Adaptive, q.Banks(), cfg.IQ.BankSize)
 		q.SetSizeLimit(c.ctrl.Limit())
 	}
 	return c, nil
+}
+
+// UseReferenceScheduler switches this core (and its issue queue) to the
+// original scan-based scheduler: CAM-style linear wakeup, full-window
+// oldest-first select, and linear store-FIFO disambiguation. It exists so
+// the differential tests can prove the fast paths produce bit-identical
+// Stats; call it before Run.
+func (c *Core) UseReferenceScheduler() {
+	c.refSched = true
+	c.q.SetReference(true)
 }
 
 // robCap returns the effective ROB capacity (abella caps it at 64).
@@ -288,7 +354,14 @@ func (c *Core) commit() {
 		if u.isStore {
 			c.mem.StoreAccess(u.d.Addr)
 			// The store at the head of the store FIFO is this one.
-			c.stores = c.stores[1:]
+			s := c.storeAt(c.storeHead)
+			if li, ok := c.lastStoreTo[s.addr]; ok && li == c.storeHead {
+				delete(c.lastStoreTo, s.addr)
+			}
+			c.storeHead++
+			if c.unresolvedFrom < c.storeHead {
+				c.unresolvedFrom = c.storeHead
+			}
 		}
 		if u.isLoad {
 			c.loads--
@@ -297,7 +370,10 @@ func (c *Core) commit() {
 			c.file(u.destFP).Free(u.prevPhys)
 		}
 		c.committedReal++
-		c.robHead = (c.robHead + 1) % len(c.rob)
+		c.robHead++
+		if c.robHead == len(c.rob) {
+			c.robHead = 0
+		}
 		c.robCount--
 		if c.cfg.MaxInsts > 0 && c.committedReal >= c.cfg.MaxInsts {
 			return
@@ -338,22 +414,19 @@ func (c *Core) writeback() {
 }
 
 // issue selects up to IssueWidth ready instructions oldest-first, subject
-// to functional-unit and memory-port limits and load/store ordering.
+// to functional-unit and memory-port limits and load/store ordering. The
+// fast path walks only the issue queue's ready list; the reference path
+// scans the whole window filtering on readiness. Both apply the same
+// selection rules in the same order, so the picks are identical.
 func (c *Core) issue() {
 	var unitsUsed [isa.NumClasses]int
 	memPortsUsed := 0
 	issued := 0
-	type pick struct {
-		pos int64
-		idx int
-	}
-	var picks []pick
-	c.q.ForEachValid(func(pos int64, e *iq.Entry) bool {
+	loadsBlocked := false
+	c.picks = c.picks[:0]
+	sel := func(pos int64, e *iq.Entry) bool {
 		if issued >= c.cfg.IssueWidth {
 			return false
-		}
-		if !e.Ready() {
-			return true
 		}
 		idx := int(e.ID)
 		u := &c.rob[idx]
@@ -362,8 +435,17 @@ func (c *Core) issue() {
 			if memPortsUsed >= c.cfg.MemPorts {
 				return true
 			}
-			if u.isLoad && !c.loadMayIssue(u) {
-				return true
+			if u.isLoad {
+				// Selection never resolves stores (that happens in the
+				// pick loop below), so once one load is blocked by an
+				// older unresolved store, every younger load is too.
+				if !c.refSched && loadsBlocked {
+					return true
+				}
+				if !c.loadMayIssue(u) {
+					loadsBlocked = true
+					return true
+				}
 			}
 			memPortsUsed++
 		} else {
@@ -372,11 +454,21 @@ func (c *Core) issue() {
 			}
 			unitsUsed[cl]++
 		}
-		picks = append(picks, pick{pos, idx})
+		c.picks = append(c.picks, pick{pos, idx})
 		issued++
 		return true
-	})
-	for _, p := range picks {
+	}
+	if c.refSched {
+		c.q.ForEachValid(func(pos int64, e *iq.Entry) bool {
+			if !e.Ready() {
+				return true
+			}
+			return sel(pos, e)
+		})
+	} else {
+		c.q.ForEachReady(sel)
+	}
+	for _, p := range c.picks {
 		u := &c.rob[p.idx]
 		if c.ctrl != nil {
 			young := c.q.Tail()-p.pos <= int64(c.cfg.IQ.BankSize)
@@ -392,7 +484,14 @@ func (c *Core) issue() {
 		lat := c.execLatency(u)
 		if u.isStore {
 			u.addrResolved = true
-			c.resolveStore(u.d.Seq)
+			c.resolveStore(u)
+		}
+		if lat > completionRing {
+			// An L2-miss chain can in principle exceed the ring span; a
+			// longer latency would alias an earlier slot and complete the
+			// op far too early. Clamp and count instead.
+			lat = completionRing
+			c.st.LatencyClamped++
 		}
 		due := (c.cycle + int64(lat)) % completionRing
 		c.complete[due] = append(c.complete[due], p.idx)
@@ -401,26 +500,47 @@ func (c *Core) issue() {
 
 // loadMayIssue enforces conservative memory disambiguation: every older
 // in-flight store must have a resolved address; a matching one forwards.
+// The fast path answers from the unresolved-store counter and cursor; the
+// reference path scans the FIFO in program order.
 func (c *Core) loadMayIssue(u *uop) bool {
-	for i := range c.stores {
-		s := &c.stores[i]
-		if s.seq >= u.d.Seq {
-			break
+	if c.refSched {
+		for i := c.storeHead; i < c.storeTail; i++ {
+			s := c.storeAt(i)
+			if s.seq >= u.d.Seq {
+				break
+			}
+			if !s.resolved {
+				return false
+			}
 		}
-		if !s.resolved {
-			return false
-		}
+		return true
 	}
-	return true
+	if c.unresolved == 0 {
+		return true
+	}
+	for c.unresolvedFrom < c.storeTail && c.storeAt(c.unresolvedFrom).resolved {
+		c.unresolvedFrom++
+	}
+	if c.unresolvedFrom >= c.storeTail {
+		return true
+	}
+	// The oldest unresolved store must be younger than the load.
+	return c.storeAt(c.unresolvedFrom).seq >= u.d.Seq
 }
 
-func (c *Core) resolveStore(seq int64) {
-	for i := range c.stores {
-		if c.stores[i].seq == seq {
-			c.stores[i].resolved = true
-			return
+func (c *Core) resolveStore(u *uop) {
+	if c.refSched {
+		for i := c.storeHead; i < c.storeTail; i++ {
+			if s := c.storeAt(i); s.seq == u.d.Seq {
+				s.resolved = true
+				c.unresolved--
+				return
+			}
 		}
+		return
 	}
+	c.storeAt(u.storeIdx).resolved = true
+	c.unresolved--
 }
 
 // execLatency computes the operation latency, consulting the cache model
@@ -428,10 +548,25 @@ func (c *Core) resolveStore(seq int64) {
 func (c *Core) execLatency(u *uop) int {
 	if u.isLoad {
 		// Forward from the youngest older store to the same word.
-		for i := len(c.stores) - 1; i >= 0; i-- {
-			s := &c.stores[i]
-			if s.seq < u.d.Seq && s.addr == u.d.Addr {
-				return c.mem.DL1.Config().HitCycles
+		if c.refSched {
+			for i := c.storeTail - 1; i >= c.storeHead; i-- {
+				s := c.storeAt(i)
+				if s.seq < u.d.Seq && s.addr == u.d.Addr {
+					return c.mem.DL1.Config().HitCycles
+				}
+			}
+			return c.mem.LoadLatency(u.d.Addr)
+		}
+		// Walk the same-address chain youngest-first; in-order commit
+		// guarantees that once an index drops below storeHead the rest of
+		// the chain has committed too.
+		if idx, ok := c.lastStoreTo[u.d.Addr]; ok {
+			for idx >= c.storeHead {
+				s := c.storeAt(idx)
+				if s.seq < u.d.Seq {
+					return c.mem.DL1.Config().HitCycles
+				}
+				idx = s.prevSameAddr
 			}
 		}
 		return c.mem.LoadLatency(u.d.Addr)
@@ -485,7 +620,7 @@ func (c *Core) dispatch() {
 			return
 		}
 		isMem := d.Op.IsMem()
-		if isMem && c.loads+len(c.stores) >= c.cfg.LSQSize {
+		if isMem && c.loads+c.storeCount() >= c.cfg.LSQSize {
 			c.st.StallLSQFull++
 			return
 		}
@@ -567,10 +702,21 @@ func (c *Core) rename(d trace.DynInst, blocksFetch bool) bool {
 	u.iqPos = pos
 	u.state = uopInIQ
 	c.rob[idx] = u
-	c.robTail = (c.robTail + 1) % len(c.rob)
+	c.robTail++
+	if c.robTail == len(c.rob) {
+		c.robTail = 0
+	}
 	c.robCount++
 	if u.isStore {
-		c.stores = append(c.stores, storeRec{seq: d.Seq, addr: d.Addr})
+		prev := int64(-1)
+		if p, ok := c.lastStoreTo[d.Addr]; ok {
+			prev = p
+		}
+		*c.storeAt(c.storeTail) = storeRec{seq: d.Seq, addr: d.Addr, prevSameAddr: prev}
+		c.lastStoreTo[d.Addr] = c.storeTail
+		c.rob[idx].storeIdx = c.storeTail
+		c.storeTail++
+		c.unresolved++
 	}
 	if u.isLoad {
 		c.loads++
@@ -579,7 +725,10 @@ func (c *Core) rename(d trace.DynInst, blocksFetch bool) bool {
 }
 
 func (c *Core) popFQ() {
-	c.fqHead = (c.fqHead + 1) % len(c.fq)
+	c.fqHead++
+	if c.fqHead == len(c.fq) {
+		c.fqHead = 0
+	}
 	c.fqCount--
 }
 
@@ -605,7 +754,12 @@ func (c *Core) fetch() {
 			return
 		}
 		// I-cache: one access per line transition.
-		line := d.PC / lineBytes
+		var line int
+		if c.fetchLineShift >= 0 {
+			line = d.PC >> uint(c.fetchLineShift)
+		} else {
+			line = d.PC / lineBytes
+		}
 		if line != c.lastFetchLine {
 			c.lastFetchLine = line
 			lat := c.mem.FetchLatency(d.PC)
@@ -634,7 +788,10 @@ func (c *Core) fetch() {
 // decode pipeline.
 func (c *Core) pushFQ(d trace.DynInst, fetchCycle int64) {
 	c.fq[c.fqTail] = fqEntry{d: d, readyCycle: fetchCycle + int64(c.cfg.DecodeStages)}
-	c.fqTail = (c.fqTail + 1) % len(c.fq)
+	c.fqTail++
+	if c.fqTail == len(c.fq) {
+		c.fqTail = 0
+	}
 	c.fqCount++
 	c.st.FetchedInsts++
 }

@@ -214,6 +214,39 @@ func TestCacheMissesSlowLoads(t *testing.T) {
 	}
 }
 
+func TestCompletionRingClampsLongLatencies(t *testing.T) {
+	// A memory latency pushing loads past the completion ring's span used
+	// to alias an earlier ring slot and complete the load far too early.
+	// With MemCycles=500 every DL1+L2 miss costs 512 cycles > 128: the
+	// guard must clamp (and count) rather than corrupt, and the run must
+	// still commit its full budget.
+	b := prog.NewBuilder("chase")
+	n := int64(1 << 17)
+	data := make([]int64, n)
+	for i := int64(0); i < n; i++ {
+		data[i] = 0x10000 + ((i+37)%n)*8
+	}
+	b.SetData(data)
+	pb := b.Proc("main").Entry().
+		Li(isa.R(1), 1_000_000).
+		Li(isa.R(2), 0x10000).
+		Label("loop").
+		Ld(isa.R(2), isa.R(2), 0).
+		Addi(isa.R(1), isa.R(1), -1).
+		Bne(isa.R(1), isa.RZero, "loop").
+		Halt()
+	cfg := DefaultConfig()
+	cfg.Caches.MemCycles = 500
+	cfg.MaxCycles = 10_000 * 600 // chase at ~512 cycles/load needs headroom
+	st := run(t, cfg, pb.MustBuild(), 10_000)
+	if st.LatencyClamped == 0 {
+		t.Error("expected clamped latencies with MemCycles=500, got none")
+	}
+	if st.CommittedReal != 10_000 {
+		t.Errorf("committed %d, want 10000", st.CommittedReal)
+	}
+}
+
 func TestStoreLoadForwarding(t *testing.T) {
 	// Store then immediately load the same address in a loop: must make
 	// progress and commit the right count (correctness of disambiguation).

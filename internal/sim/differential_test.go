@@ -1,0 +1,148 @@
+// Differential harness: the fast scheduler (indexed wakeup, ready-list
+// select, counter/map disambiguation) must produce bit-identical Stats to
+// the original scan-based reference scheduler on every control mode and
+// benchmark. Any divergence — one extra wakeup, one reordered pick, one
+// mis-forwarded load — shifts cycle counts or power populations and fails
+// the reflect.DeepEqual.
+package sim_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/emu"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// diffBudget is large enough to fill the machine, wrap every ring, and
+// exercise hint regions, mispredicts and cache misses many times over.
+const diffBudget = 30_000
+
+// diffMode is one of the paper's issue-queue control configurations.
+type diffMode struct {
+	name        string
+	instrument  bool
+	instrumentO core.Options
+	control     sim.ControlMode
+}
+
+func diffModes() []diffMode {
+	return []diffMode{
+		{name: "baseline", control: sim.ControlNone},
+		{name: "noop", instrument: true, instrumentO: core.Options{Mode: core.ModeNOOP}, control: sim.ControlHints},
+		{name: "tag", instrument: true, instrumentO: core.Options{Mode: core.ModeTag}, control: sim.ControlHints},
+		{name: "abella", control: sim.ControlAdaptive},
+	}
+}
+
+// runScheduler builds + optionally instruments the benchmark and runs it
+// under the fast or reference scheduler (mirroring sim.RunProgram, which
+// has no pre-Run hook).
+func runScheduler(t *testing.T, bench string, m diffMode, reference bool) sim.Stats {
+	t.Helper()
+	b, ok := workload.ByName(bench)
+	if !ok {
+		t.Fatalf("unknown benchmark %q", bench)
+	}
+	p := b.Build(42)
+	if m.instrument {
+		if _, err := core.Instrument(p, m.instrumentO); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cfg := sim.DefaultConfig()
+	cfg.Control = m.control
+	cfg.MaxInsts = diffBudget
+	cfg.MaxCycles = diffBudget * 20
+	e, err := emu.New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Restart = true
+	c, err := sim.New(cfg, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reference {
+		c.UseReferenceScheduler()
+	}
+	return c.Run()
+}
+
+// statsDiff names the fields in which two Stats differ (the test failure
+// would otherwise be an unreadable struct dump).
+func statsDiff(a, b sim.Stats) []string {
+	var diffs []string
+	va, vb := reflect.ValueOf(a), reflect.ValueOf(b)
+	for i := 0; i < va.NumField(); i++ {
+		fa, fb := va.Field(i).Interface(), vb.Field(i).Interface()
+		if !reflect.DeepEqual(fa, fb) {
+			diffs = append(diffs, fmt.Sprintf("%s: fast=%+v ref=%+v",
+				va.Type().Field(i).Name, fa, fb))
+		}
+	}
+	return diffs
+}
+
+// TestFastSchedulerMatchesReference is the PR's acceptance gate: every
+// control mode × benchmark must have bit-identical Stats — including the
+// IQ wakeup/power populations and both register files' counters — under
+// the fast and reference schedulers.
+func TestFastSchedulerMatchesReference(t *testing.T) {
+	benches := []string{"gzip", "perlbmk", "twolf"}
+	for _, m := range diffModes() {
+		for _, bench := range benches {
+			m, bench := m, bench
+			t.Run(m.name+"/"+bench, func(t *testing.T) {
+				t.Parallel()
+				fast := runScheduler(t, bench, m, false)
+				ref := runScheduler(t, bench, m, true)
+				if !reflect.DeepEqual(fast, ref) {
+					for _, d := range statsDiff(fast, ref) {
+						t.Errorf("stats diverge: %s", d)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestFastSchedulerMatchesReferenceCollapsible covers the collapsible-
+// queue ablation, whose larger ring exercises the wakeup index's ready
+// bitset and slot-reuse validation across a wrapped, holey window.
+func TestFastSchedulerMatchesReferenceCollapsible(t *testing.T) {
+	m := diffMode{name: "baseline", control: sim.ControlNone}
+	for _, bench := range []string{"gzip"} {
+		run := func(reference bool) sim.Stats {
+			b, _ := workload.ByName(bench)
+			p := b.Build(42)
+			cfg := sim.DefaultConfig()
+			cfg.IQ.Collapsible = true
+			cfg.Control = m.control
+			cfg.MaxInsts = diffBudget
+			cfg.MaxCycles = diffBudget * 20
+			e, err := emu.New(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			e.Restart = true
+			c, err := sim.New(cfg, e)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if reference {
+				c.UseReferenceScheduler()
+			}
+			return c.Run()
+		}
+		fast, ref := run(false), run(true)
+		if !reflect.DeepEqual(fast, ref) {
+			for _, d := range statsDiff(fast, ref) {
+				t.Errorf("%s collapsible: stats diverge: %s", bench, d)
+			}
+		}
+	}
+}

@@ -10,9 +10,11 @@
 package repro
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/adaptive"
+	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/emu"
 	"repro/internal/exp"
@@ -350,6 +352,29 @@ func BenchmarkEmulatorThroughput(b *testing.B) {
 		}
 	}
 	b.SetBytes(100_000)
+}
+
+// BenchmarkSampledCampaign measures end-to-end sampled-campaign
+// throughput on the standard three-benchmark sweep — the quantity the
+// sampled-simulation engine exists to raise. Compare against
+// SimulatorThroughput in BENCH_simcore.json for the realised speedup
+// (inst/s here are campaign instructions per wall second, all phases
+// included).
+func BenchmarkSampledCampaign(b *testing.B) {
+	const budget = 500_000
+	spec := campaign.DefaultSpec(budget)
+	spec.Benchmarks = []string{"gzip", "mcf", "crafty"}
+	spec.Techniques = []campaign.Technique{campaign.TechBaseline}
+	d := campaign.DefaultSampling()
+	spec.Sampling = &d
+	eng := &campaign.Engine{Workers: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Run(context.Background(), spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(spec.Benchmarks)) * budget)
 }
 
 // BenchmarkAnalysisPass measures the whole compiler pass across the

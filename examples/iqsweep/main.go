@@ -11,6 +11,12 @@
 // dynamic tag technique at full size — is two declarative campaign
 // specs; the engine runs the twenty cells in parallel. Pass a directory
 // argument to cache the results and make re-runs instant.
+//
+// The dynamic-tag spec then runs a second time with Spec.Sampling set:
+// the same campaign through the sampled-simulation engine, whose
+// extrapolated IPC (with confidence half-width) prints beside the exact
+// value — both paths, one spec field apart. Sampled cells hash to their
+// own cache keys, so the two campaigns share a cache directory safely.
 package main
 
 import (
@@ -45,11 +51,22 @@ func main() {
 	dynamic.Techniques = []campaign.Technique{campaign.TechExtension}
 	dynamic.Axes = nil
 
+	// The same dynamic-tag campaign, sampled: short detailed windows with
+	// functional warming between them instead of exact simulation.
+	sampled := dynamic
+	sampled.Name = "dynamic-tag-sampled"
+	regime := campaign.Sampling{Window: 500, Period: 5_000, Warmup: 1_000, DetailWarmup: 1_000}
+	sampled.Sampling = &regime
+
 	rs, err := engine.Run(context.Background(), static)
 	if err != nil {
 		log.Fatal(err)
 	}
 	dyn, err := engine.Run(context.Background(), dynamic)
+	if err != nil {
+		log.Fatal(err)
+	}
+	smp, err := engine.Run(context.Background(), sampled)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -65,7 +82,7 @@ func main() {
 	for _, s := range sizes {
 		fmt.Printf("  %6d", s)
 	}
-	fmt.Println("   dynamic(tag)")
+	fmt.Println("   dynamic(tag)                 sampled(tag)")
 
 	for _, bench := range rs.Benchmarks() {
 		ref := rs.MustGet(bench, campaign.TechBaseline, full)
@@ -75,15 +92,18 @@ func main() {
 			fmt.Printf("  %6.2f", (1-st.IPC()/ref.Stats.IPC())*100)
 		}
 		// The dynamic technique, compared against the same full-size
-		// baseline (the two campaigns share a base configuration).
+		// baseline (the two campaigns share a base configuration), exact
+		// and sampled side by side.
 		st := dyn.MustGet(bench, campaign.TechExtension, nil).Stats
 		sv := rs.Spec.Params.Compute(&ref.Stats, &st, iqBanks, rfBanks)
-		fmt.Printf("   %.2f%% loss, %.1f%% dyn saving\n",
-			(1-st.IPC()/ref.Stats.IPC())*100, sv.IQDynamicPct)
+		sr := smp.MustGet(bench, campaign.TechExtension, nil)
+		fmt.Printf("   %.2f%% loss, %.1f%% dyn saving   IPC %.3f ±%.3f (%d windows)\n",
+			(1-st.IPC()/ref.Stats.IPC())*100, sv.IQDynamicPct,
+			sr.Sampled.IPC.Mean, sr.Sampled.IPC.Half, sr.Sampled.Windows)
 	}
-	if hits := rs.CacheHits + dyn.CacheHits; hits > 0 {
+	if hits := rs.CacheHits + dyn.CacheHits + smp.CacheHits; hits > 0 {
 		fmt.Printf("\n(%d of %d cells served from cache)\n",
-			hits, len(rs.Results)+len(dyn.Results))
+			hits, len(rs.Results)+len(dyn.Results)+len(smp.Results))
 	}
 	fmt.Println("\nreading: a 16-entry queue is free for gzip but ruinous where the")
 	fmt.Println("window matters; the compiler-controlled queue adapts per region.")

@@ -1,17 +1,22 @@
 // Quickstart: build a small program with the IR builder, run the paper's
 // compiler analysis over it, simulate baseline vs compiler-controlled
 // issue queue, and print the power savings — the whole pipeline in one
-// file.
+// file. A final sampled run shows the fast path: the same baseline
+// simulated by the sampled-simulation engine, with its error bars and
+// wall-clock win.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/isa"
 	"repro/internal/power"
 	"repro/internal/prog"
+	"repro/internal/sample"
 	"repro/internal/sim"
 )
 
@@ -44,10 +49,12 @@ func main() {
 	const budget = 200_000
 
 	// Baseline run: unconstrained 80-entry queue.
+	t0 := time.Now()
 	base, err := sim.RunProgram(sim.DefaultConfig(), buildKernel(), budget)
 	if err != nil {
 		log.Fatal(err)
 	}
+	exactWall := time.Since(t0)
 
 	// Compiler-controlled run: analyse, insert hint NOOPs, simulate with
 	// hint control enabled.
@@ -74,4 +81,20 @@ func main() {
 	fmt.Printf("IQ static saving:       %.1f%%\n", sv.IQStaticPct)
 	fmt.Printf("regfile dynamic saving: %.1f%%\n", sv.RFDynamicPct)
 	fmt.Printf("overall dynamic saving: %.1f%% of whole-processor power\n", sv.OverallDynamicPct)
+
+	// The same baseline, sampled: detailed windows every few thousand
+	// instructions with functional warming between them. Exact mode stays
+	// the default everywhere; sampling is the fast path for big budgets.
+	scfg := sample.Config{WindowInsts: 500, PeriodInsts: 5_000, WarmupInsts: 1_000, DetailWarmupInsts: 1_000}
+	t0 = time.Now()
+	srep, err := sample.Run(context.Background(), sim.DefaultConfig(), buildKernel(), budget, scfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sampledWall := time.Since(t0)
+	fmt.Printf("\nsampled baseline IPC:   %.3f ±%.3f (95%% CI, %d windows, %.0f%% of stream measured)\n",
+		srep.IPC.Mean, srep.IPC.Half, len(srep.Windows), 100*srep.SampledFraction())
+	fmt.Printf("sampled vs exact:       %+.2f%% IPC error, %.1fx wall-clock (%v vs %v)\n",
+		100*(srep.Stats.IPC()-base.IPC())/base.IPC(),
+		float64(exactWall)/float64(sampledWall), sampledWall, exactWall)
 }

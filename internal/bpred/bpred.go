@@ -146,6 +146,22 @@ func (p *Predictor) UpdateCond(pc int, taken bool) {
 	if pred != taken {
 		p.Stats.CondMispred++
 	}
+	p.train(gi, bi, si, g, b, taken)
+}
+
+// TrainCond is the functional-warming update: it performs exactly the
+// state transitions of UpdateCond — counters, chooser, global history —
+// but charges nothing to Stats, so warming branches between detailed
+// sample windows keep the predictor hot without polluting the window's
+// measured misprediction rate.
+func (p *Predictor) TrainCond(pc int, taken bool) {
+	gi, bi, si := p.gshareIdx(pc), p.bimodalIdx(pc), p.selectorIdx(pc)
+	p.train(gi, bi, si, p.gshare[gi] >= 2, p.bimodal[bi] >= 2, taken)
+}
+
+// train applies the component, chooser and history updates shared by
+// UpdateCond and TrainCond.
+func (p *Predictor) train(gi, bi, si int, g, b, taken bool) {
 	// Chooser trains toward the component that was right (when they differ).
 	if g != b {
 		if g == taken {
@@ -254,6 +270,22 @@ func (p *Predictor) PopRAS(actual int) (predicted int, correct bool) {
 		return predicted, false
 	}
 	return predicted, true
+}
+
+// WarmBTB installs a taken transfer's target on the warming path. It is
+// UpdateBTB by another name — BTB installation is already stat-free — and
+// exists so warming call sites read uniformly.
+func (p *Predictor) WarmBTB(pc, target int) { p.UpdateBTB(pc, target) }
+
+// WarmCall records a call's return address on the warming path.
+func (p *Predictor) WarmCall(retPC int) { p.PushRAS(retPC) }
+
+// WarmReturn pops the return-address stack on the warming path without
+// charging prediction statistics.
+func (p *Predictor) WarmReturn() {
+	if len(p.ras) > 0 {
+		p.ras = p.ras[:len(p.ras)-1]
+	}
 }
 
 // MispredictRate returns the conditional-branch misprediction fraction.

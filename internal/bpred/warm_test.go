@@ -1,0 +1,69 @@
+package bpred
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestTrainCondMatchesUpdateCond drives an identical outcome stream
+// through two predictors — one trained via UpdateCond, one via the
+// warming path TrainCond — and requires every subsequent prediction to
+// agree: the warming path is UpdateCond minus statistics.
+func TestTrainCondMatchesUpdateCond(t *testing.T) {
+	a, b := New(Config{}), New(Config{})
+	rng := rand.New(rand.NewSource(11))
+	pcs := make([]int, 32)
+	for i := range pcs {
+		pcs[i] = 4 * (i*37 + 5)
+	}
+	for i := 0; i < 50000; i++ {
+		pc := pcs[rng.Intn(len(pcs))]
+		taken := rng.Intn(3) != 0
+		a.UpdateCond(pc, taken)
+		b.TrainCond(pc, taken)
+		// After equal training, both must predict alike on any pc.
+		probe := pcs[rng.Intn(len(pcs))]
+		if b.PredictCond(probe) != a.PredictCond(probe) {
+			t.Fatalf("step %d: predictions diverge at pc %d", i, probe)
+		}
+	}
+	if b.Stats.CondMispred != 0 {
+		t.Fatalf("TrainCond charged mispredicts: %+v", b.Stats)
+	}
+}
+
+// TestWarmRAS verifies the warming call/return paths mirror a call stack
+// without charging return statistics.
+func TestWarmRAS(t *testing.T) {
+	p := New(Config{})
+	p.WarmCall(100)
+	p.WarmCall(200)
+	p.WarmReturn() // consumes 200
+	pred, correct := p.PopRAS(100)
+	if !correct || pred != 100 {
+		t.Fatalf("after warm call/return, PopRAS = %d,%v; want 100,true", pred, correct)
+	}
+	if p.Stats.RASReturns != 1 || p.Stats.RASMispredict != 0 {
+		t.Fatalf("warming charged RAS stats: %+v", p.Stats)
+	}
+	// Warm pop on an empty stack is a no-op.
+	p.WarmReturn()
+	p.WarmReturn()
+	if p.Stats.RASMispredict != 0 {
+		t.Fatalf("empty warm pop charged stats: %+v", p.Stats)
+	}
+}
+
+// TestWarmBTB verifies warming installs targets that later hit without
+// warming having charged lookup statistics.
+func TestWarmBTB(t *testing.T) {
+	p := New(Config{})
+	p.WarmBTB(64, 1024)
+	if p.Stats.BTBLookups != 0 {
+		t.Fatalf("warming charged BTB stats: %+v", p.Stats)
+	}
+	tgt, ok := p.LookupBTB(64)
+	if !ok || tgt != 1024 {
+		t.Fatalf("warm-installed target = %d,%v; want 1024,true", tgt, ok)
+	}
+}

@@ -73,9 +73,22 @@ func MustNew(cfg Config) *Cache {
 }
 
 // Access probes the cache for addr, filling on miss, and reports whether
-// it hit.
+// it hit. It is Touch plus statistics.
 func (c *Cache) Access(addr uint64) bool {
 	c.Stats.Accesses++
+	hit := c.Touch(addr)
+	if !hit {
+		c.Stats.Misses++
+	}
+	return hit
+}
+
+// Touch is the functional-warming access path: it performs exactly the
+// state transitions of Access — LRU promotion on hit, fill and victim
+// eviction on miss — but charges nothing to Stats, so warming traffic
+// between detailed sample windows keeps the cache hot without polluting
+// the window's measured hit rates. It reports whether the access hit.
+func (c *Cache) Touch(addr uint64) bool {
 	set, tag := c.locate(addr)
 	base := set * c.cfg.Assoc
 	victim := base
@@ -92,7 +105,6 @@ func (c *Cache) Access(addr uint64) bool {
 			victim = base + i
 		}
 	}
-	c.Stats.Misses++
 	c.tick++
 	c.lines[victim] = line{valid: true, tag: tag, lru: c.tick}
 	return false
@@ -191,6 +203,30 @@ func (h *Hierarchy) LoadLatency(addr uint64) int {
 // The returned latency is informational; stores buffer and do not stall.
 func (h *Hierarchy) StoreAccess(addr uint64) int {
 	return h.LoadLatency(addr)
+}
+
+// WarmLoad performs a data read's state transitions (DL1, then L2 on a
+// DL1 miss) without statistics or latency — the functional-warming path
+// the sampled-simulation engine drives between detailed windows.
+func (h *Hierarchy) WarmLoad(addr uint64) {
+	if !h.DL1.Touch(addr) {
+		h.L2.Touch(addr)
+	}
+}
+
+// WarmStore performs a store's state transitions without statistics
+// (write-allocate, like StoreAccess).
+func (h *Hierarchy) WarmStore(addr uint64) {
+	h.WarmLoad(addr)
+}
+
+// WarmFetch performs an instruction fetch's state transitions (IL1, then
+// L2 on an IL1 miss) without statistics.
+func (h *Hierarchy) WarmFetch(pc int) {
+	addr := uint64(pc)
+	if !h.IL1.Touch(addr) {
+		h.L2.Touch(addr)
+	}
 }
 
 // FetchLatency models an instruction fetch of the line containing pc.

@@ -1,0 +1,63 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestTouchMatchesAccessState drives an identical random address stream
+// through two caches, one via Access and one via Touch, and requires the
+// resulting contents to agree at every step — Touch is Access minus
+// statistics, nothing else.
+func TestTouchMatchesAccessState(t *testing.T) {
+	cfg := Config{Name: "t", SizeBytes: 1 << 12, LineBytes: 32, Assoc: 2, HitCycles: 1}
+	a, b := MustNew(cfg), MustNew(cfg)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 20000; i++ {
+		addr := uint64(rng.Intn(1<<14)) &^ 7
+		ha := a.Access(addr)
+		hb := b.Touch(addr)
+		if ha != hb {
+			t.Fatalf("step %d addr %#x: Access hit=%v Touch hit=%v", i, addr, ha, hb)
+		}
+	}
+	if b.Stats.Accesses != 0 || b.Stats.Misses != 0 {
+		t.Fatalf("Touch charged stats: %+v", b.Stats)
+	}
+	if a.Stats.Accesses != 20000 {
+		t.Fatalf("Access stats = %+v", a.Stats)
+	}
+	// Final contents agree under probe.
+	for i := 0; i < 1000; i++ {
+		addr := uint64(rng.Intn(1<<14)) &^ 7
+		if a.Contains(addr) != b.Contains(addr) {
+			t.Fatalf("contents diverge at %#x", addr)
+		}
+	}
+}
+
+// TestHierarchyWarmPaths verifies warming fills both levels and leaves
+// every Stats counter untouched, so a detailed window starting after
+// warming sees hits where warming ran.
+func TestHierarchyWarmPaths(t *testing.T) {
+	h, err := NewHierarchy(HierarchyConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 256; i++ {
+		h.WarmLoad(uint64(i * 32))
+		h.WarmStore(uint64(1<<20 + i*32))
+		h.WarmFetch(1<<16 + i*32)
+	}
+	if h.DL1.Stats.Accesses != 0 || h.IL1.Stats.Accesses != 0 || h.L2.Stats.Accesses != 0 {
+		t.Fatalf("warming charged stats: dl1=%+v il1=%+v l2=%+v",
+			h.DL1.Stats, h.IL1.Stats, h.L2.Stats)
+	}
+	// Warmed lines now hit on the detailed path.
+	if got := h.LoadLatency(0); got != h.DL1.Config().HitCycles {
+		t.Errorf("warmed load latency = %d, want DL1 hit %d", got, h.DL1.Config().HitCycles)
+	}
+	if got := h.FetchLatency(1 << 16); got != h.IL1.Config().HitCycles {
+		t.Errorf("warmed fetch latency = %d, want IL1 hit %d", got, h.IL1.Config().HitCycles)
+	}
+}

@@ -18,23 +18,26 @@ const cacheSchema = 1
 
 // JobKey returns the content hash that identifies a job's result: a
 // SHA-256 over everything the outcome depends on — benchmark, technique,
-// the fully-derived simulator configuration, budget, seed, and the power
-// parameters the campaign's figures will be computed with. The sweep
-// point is deliberately absent: it is already folded into the derived
-// configuration, so a sweep cell and a base run with equal
-// configurations share one cache entry.
+// the fully-derived simulator configuration, budget, seed, the sampling
+// regime (when sampled), and the power parameters the campaign's figures
+// will be computed with. The sweep point is deliberately absent: it is
+// already folded into the derived configuration, so a sweep cell and a
+// base run with equal configurations share one cache entry. The sampling
+// field is omitted entirely for exact jobs, so exact keys are unchanged
+// from before sampled mode existed and pre-existing caches stay valid.
 func JobKey(job *Job, params power.Params) (string, error) {
 	cfg := job.Config
 	cfg.Probe = nil // runtime attachment, not identity
 	blob, err := json.Marshal(struct {
-		Schema int
-		Bench  string
-		Tech   Technique
-		Config any
-		Budget int64
-		Seed   int64
-		Params power.Params
-	}{cacheSchema, job.Bench, job.Tech, cfg, job.Budget, job.Seed, params})
+		Schema   int
+		Bench    string
+		Tech     Technique
+		Config   any
+		Budget   int64
+		Seed     int64
+		Params   power.Params
+		Sampling *Sampling `json:",omitempty"`
+	}{cacheSchema, job.Bench, job.Tech, cfg, job.Budget, job.Seed, params, job.Sampling})
 	if err != nil {
 		return "", fmt.Errorf("campaign: hashing job %s: %w", job.ID(), err)
 	}

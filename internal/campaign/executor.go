@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/prog"
+	"repro/internal/sample"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -25,10 +26,35 @@ type Result struct {
 	GenMS float64 `json:"gen_ms"`
 	// Hints is the number of static hints materialised.
 	Hints int `json:"hints"`
+	// Sampled carries the sampling detail when the job ran sampled:
+	// Stats then holds the population-extrapolated totals and Sampled the
+	// error bars. Nil for exact runs, and omitted from their JSON.
+	Sampled *SampledMeta `json:"sampled,omitempty"`
 	// Cached marks a result served from the on-disk cache. It is not
 	// serialised: a cache hit must export byte-identically to the run
 	// that populated it.
 	Cached bool `json:"-"`
+}
+
+// SampledMeta summarises a sampled run for results and exports. All
+// fields are deterministic for a deterministic job, so cached and fresh
+// sampled results export identically.
+type SampledMeta struct {
+	// Windows is the number of measured detailed windows.
+	Windows int `json:"windows"`
+	// SampledInsts of TotalInsts committed real instructions were
+	// measured in detailed windows.
+	SampledInsts int64 `json:"sampled_insts"`
+	TotalInsts   int64 `json:"total_insts"`
+	// Confidence is the level of the interval half-widths below.
+	Confidence float64 `json:"confidence"`
+	// IPC is the per-window IPC estimate: mean ± half.
+	IPC sample.Metric `json:"ipc"`
+	// DL1MissRate, L2MissRate and MispredictRate are the corresponding
+	// per-window interval estimates.
+	DL1MissRate    sample.Metric `json:"dl1_miss_rate"`
+	L2MissRate     sample.Metric `json:"l2_miss_rate"`
+	MispredictRate sample.Metric `json:"mispredict_rate"`
 }
 
 // instrumentOptions maps a technique to the compiler pass configuration;
@@ -70,9 +96,9 @@ func Prepare(job *Job) (*prog.Program, Result, error) {
 	return p, res, nil
 }
 
-// Execute runs one job to completion: prepare, simulate, collect stats.
-// It checks ctx once up front; the simulator itself is not interruptible,
-// so cancellation takes effect at job granularity.
+// Execute runs one job to completion: prepare, simulate (exact or
+// sampled, by job.Sampling), collect stats. The simulator polls ctx
+// mid-run, so cancellation takes effect mid-job, not just between jobs.
 func Execute(ctx context.Context, job *Job) (Result, error) {
 	if err := ctx.Err(); err != nil {
 		return Result{Bench: job.Bench, Tech: job.Tech, Point: job.Point}, err
@@ -81,7 +107,25 @@ func Execute(ctx context.Context, job *Job) (Result, error) {
 	if err != nil {
 		return res, err
 	}
-	st, err := sim.RunProgram(job.Config, p, job.Budget)
+	if job.Sampling != nil {
+		rep, err := sample.Run(ctx, job.Config, p, job.Budget, job.Sampling.engineConfig())
+		if err != nil {
+			return res, fmt.Errorf("%s: %w", job.ID(), err)
+		}
+		res.Stats = rep.Stats
+		res.Sampled = &SampledMeta{
+			Windows:        len(rep.Windows),
+			SampledInsts:   rep.SampledReal,
+			TotalInsts:     rep.TotalReal,
+			Confidence:     rep.Confidence,
+			IPC:            rep.IPC,
+			DL1MissRate:    rep.DL1MissRate,
+			L2MissRate:     rep.L2MissRate,
+			MispredictRate: rep.MispredictRate,
+		}
+		return res, nil
+	}
+	st, err := sim.RunProgramContext(ctx, job.Config, p, job.Budget)
 	if err != nil {
 		return res, fmt.Errorf("%s: %w", job.ID(), err)
 	}

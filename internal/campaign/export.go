@@ -45,7 +45,10 @@ func csvEscape(s string) string {
 
 // WriteCSV exports one row per result with the headline quantities the
 // paper's figures plot, plus the baseline-relative metrics where the
-// point's baseline run is present.
+// point's baseline run is present. Sampled campaigns append error-bar
+// columns (the IPC confidence half-width, window count and measured
+// fraction); exact campaigns emit exactly the historical columns, so
+// their exports are byte-stable across the introduction of sampling.
 func (rs *ResultSet) WriteCSV(w io.Writer) error {
 	cols := []string{
 		"bench", "tech", "point",
@@ -55,6 +58,10 @@ func (rs *ResultSet) WriteCSV(w io.Writer) error {
 		"ipc_loss_pct", "occ_reduction_pct",
 		"iq_dynamic_save_pct", "iq_static_save_pct",
 		"rf_dynamic_save_pct", "rf_static_save_pct",
+	}
+	sampled := rs.Spec.Sampling != nil
+	if sampled {
+		cols = append(cols, "ipc_ci_half", "windows", "sampled_pct")
 	}
 	if _, err := fmt.Fprintln(w, strings.Join(cols, ",")); err != nil {
 		return err
@@ -88,6 +95,21 @@ func (rs *ResultSet) WriteCSV(w io.Writer) error {
 			)
 		} else {
 			row = append(row, "", "", "", "", "", "")
+		}
+		if sampled {
+			if r.Sampled != nil {
+				frac := 0.0
+				if r.Sampled.TotalInsts > 0 {
+					frac = 100 * float64(r.Sampled.SampledInsts) / float64(r.Sampled.TotalInsts)
+				}
+				row = append(row,
+					fmt.Sprintf("%.4f", r.Sampled.IPC.Half),
+					fmt.Sprintf("%d", r.Sampled.Windows),
+					fmt.Sprintf("%.2f", frac),
+				)
+			} else {
+				row = append(row, "", "", "")
+			}
 		}
 		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
 			return err

@@ -1,0 +1,289 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/power"
+)
+
+// legacyJobKey reproduces the pre-sampling hash layout (no Sampling
+// field) byte for byte.
+func legacyJobKey(job *Job, params power.Params) (string, error) {
+	cfg := job.Config
+	cfg.Probe = nil
+	blob, err := json.Marshal(struct {
+		Schema int
+		Bench  string
+		Tech   Technique
+		Config any
+		Budget int64
+		Seed   int64
+		Params power.Params
+	}{cacheSchema, job.Bench, job.Tech, cfg, job.Budget, job.Seed, params})
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(blob)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+func sampledSpec(budget int64) Spec {
+	s := DefaultSpec(budget)
+	s.Benchmarks = []string{"gzip"}
+	s.Techniques = []Technique{TechBaseline}
+	d := DefaultSampling()
+	s.Sampling = &d
+	return s
+}
+
+func TestSamplingInJobKey(t *testing.T) {
+	spec := DefaultSpec(100_000)
+	jobs, err := spec.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := jobs[0]
+	exactKey, err := JobKey(&exact, spec.Params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampled := exact
+	d := DefaultSampling()
+	sampled.Sampling = &d
+	sampledKey, err := JobKey(&sampled, spec.Params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exactKey == sampledKey {
+		t.Fatal("sampled and exact jobs share a cache key")
+	}
+	// Different regimes hash differently.
+	d2 := d
+	d2.Window *= 2
+	sampled2 := exact
+	sampled2.Sampling = &d2
+	key2, err := JobKey(&sampled2, spec.Params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key2 == sampledKey {
+		t.Fatal("different sampling regimes share a cache key")
+	}
+	// Equal regimes behind distinct pointers hash identically.
+	d3 := d
+	sampled3 := exact
+	sampled3.Sampling = &d3
+	key3, err := JobKey(&sampled3, spec.Params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key3 != sampledKey {
+		t.Fatal("equal sampling regimes hash differently")
+	}
+}
+
+func TestSampledCampaignRuns(t *testing.T) {
+	eng := &Engine{Workers: 2}
+	rs, err := eng.Run(context.Background(), sampledSpec(200_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Results) != 1 {
+		t.Fatalf("got %d results", len(rs.Results))
+	}
+	r := rs.Results[0]
+	if r.Sampled == nil {
+		t.Fatal("sampled run carries no SampledMeta")
+	}
+	if r.Sampled.Windows == 0 || r.Sampled.SampledInsts == 0 {
+		t.Fatalf("empty sampling meta: %+v", r.Sampled)
+	}
+	if r.Stats.IPC() <= 0 {
+		t.Fatalf("extrapolated IPC = %v", r.Stats.IPC())
+	}
+
+	// JSON round trip preserves the sampling spec and meta.
+	var buf bytes.Buffer
+	if err := rs.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Spec.Sampling == nil || *loaded.Spec.Sampling != *rs.Spec.Sampling {
+		t.Fatal("sampling spec lost in JSON round trip")
+	}
+	lr := loaded.Results[0]
+	if lr.Sampled == nil || lr.Sampled.IPC != r.Sampled.IPC {
+		t.Fatal("sampling meta lost in JSON round trip")
+	}
+
+	// CSV gains the error-bar columns for sampled campaigns only.
+	var csv bytes.Buffer
+	if err := rs.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	header := strings.SplitN(csv.String(), "\n", 2)[0]
+	for _, col := range []string{"ipc_ci_half", "windows", "sampled_pct"} {
+		if !strings.Contains(header, col) {
+			t.Errorf("sampled CSV header missing %q: %s", col, header)
+		}
+	}
+	exact := DefaultSpec(1000)
+	exact.Benchmarks, exact.Techniques = []string{"gzip"}, []Technique{TechBaseline}
+	exactRS := &ResultSet{Spec: exact}
+	csv.Reset()
+	if err := exactRS.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(csv.String(), "ipc_ci_half") {
+		t.Error("exact CSV header gained sampling columns")
+	}
+}
+
+func TestSampledResultCacheRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	spec := sampledSpec(200_000)
+	eng := &Engine{Workers: 1, CacheDir: dir}
+	fresh, err := eng.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Executed != 1 || fresh.CacheHits != 0 {
+		t.Fatalf("first run: executed %d, hits %d", fresh.Executed, fresh.CacheHits)
+	}
+	again, err := eng.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.CacheHits != 1 {
+		t.Fatalf("second run: hits %d, want 1", again.CacheHits)
+	}
+	a, b := fresh.Results[0], again.Results[0]
+	a.Cached, b.Cached = false, false
+	if a.Stats != b.Stats || *a.Sampled != *b.Sampled {
+		t.Fatal("cached sampled result differs from fresh run")
+	}
+}
+
+func TestSampledSpecValidation(t *testing.T) {
+	s := sampledSpec(0) // sampling needs a budget
+	if _, err := s.Jobs(); err == nil {
+		t.Error("zero-budget sampled spec accepted")
+	}
+	s = sampledSpec(1000)
+	s.Sampling.Period = 10 // shorter than window+warmup
+	if _, err := s.Jobs(); err == nil {
+		t.Error("degenerate sampling regime accepted")
+	}
+}
+
+func TestParseSampling(t *testing.T) {
+	if got, err := ParseSampling(""); err != nil || got != nil {
+		t.Errorf("empty: %v, %v", got, err)
+	}
+	if got, err := ParseSampling("off"); err != nil || got != nil {
+		t.Errorf("off: %v, %v", got, err)
+	}
+	got, err := ParseSampling("on")
+	if err != nil || got == nil || *got != DefaultSampling() {
+		t.Errorf("on: %+v, %v", got, err)
+	}
+	got, err = ParseSampling("2000/80000/4000")
+	if err != nil || got.Window != 2000 || got.Period != 80000 || got.Warmup != 4000 {
+		t.Errorf("slash form: %+v, %v", got, err)
+	}
+	got, err = ParseSampling("window=500,period=40000,warmup=1000,detailwarmup=1500")
+	if err != nil || got.Window != 500 || got.Period != 40000 || got.Warmup != 1000 || got.DetailWarmup != 1500 {
+		t.Errorf("kv form: %+v, %v", got, err)
+	}
+	for _, bad := range []string{"nope", "10/5", "window=x", "foo=1", "1/2/3/4", "window=-5"} {
+		if _, err := ParseSampling(bad); err == nil {
+			t.Errorf("ParseSampling(%q) accepted", bad)
+		}
+	}
+	// An explicit zero warmup means none, not "take the default".
+	got, err = ParseSampling("window=1000,period=60000,warmup=0,detailwarmup=0")
+	if err != nil || got.Warmup >= 0 || got.DetailWarmup >= 0 {
+		t.Errorf("explicit zero warmup: %+v, %v", got, err)
+	}
+}
+
+// TestSamplingValidateMatchesRuntime pins that Spec-level validation
+// judges the same resolved regime the engine runs: partial regimes whose
+// defaults overflow the period fail up front, and default-completed
+// regimes pass.
+func TestSamplingValidateMatchesRuntime(t *testing.T) {
+	// Raw 500+3000 looks fine, but default warmups (2000+2000) overflow
+	// the 3000-instruction period — must be rejected at spec time.
+	bad := Sampling{Window: 500, Period: 3000}
+	if err := bad.Validate(); err == nil {
+		t.Error("under-period regime passed spec validation")
+	}
+	// Period alone: every other field takes engine defaults.
+	good := Sampling{Period: 120_000}
+	if err := good.Validate(); err != nil {
+		t.Errorf("default-completed regime rejected: %v", err)
+	}
+	// Explicitly-zero warmups resolve to 0, not to the defaults.
+	zero := Sampling{Window: 1000, Period: 1000, Warmup: -1, DetailWarmup: -1}
+	if err := zero.Validate(); err != nil {
+		t.Errorf("zero-warmup regime rejected: %v", err)
+	}
+}
+
+// TestCampaignCancelsMidJob verifies engine cancellation interrupts a
+// running simulation rather than waiting for job completion — the
+// executor limitation this PR removes.
+func TestCampaignCancelsMidJob(t *testing.T) {
+	spec := DefaultSpec(1 << 40) // a job that would run ~forever
+	spec.Benchmarks = []string{"gzip"}
+	spec.Techniques = []Technique{TechBaseline}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		eng := &Engine{Workers: 1}
+		_, err := eng.Run(ctx, spec)
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("cancelled campaign returned nil error")
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("campaign did not stop mid-job on cancellation")
+	}
+}
+
+// TestExactKeyUnchangedBySamplingField pins that adding the Sampling
+// field did not shift exact-job cache keys: the key must be stable
+// against a reference computed from the pre-sampling hash layout.
+func TestExactKeyUnchangedBySamplingField(t *testing.T) {
+	spec := DefaultSpec(100_000)
+	jobs, err := spec.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, err := JobKey(&jobs[0], spec.Params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := legacyJobKey(&jobs[0], spec.Params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key != want {
+		t.Fatalf("exact job key changed: %s != legacy %s", key, want)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"repro/internal/power"
+	"repro/internal/sample"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -37,6 +38,140 @@ type Spec struct {
 	// Axes are the configuration sweeps; the job set is the cross
 	// product of all axis values.
 	Axes []Axis `json:"axes,omitempty"`
+	// Sampling, when non-nil, runs every job through the sampled
+	// simulation engine (internal/sample) instead of exact cycle-level
+	// simulation: detailed windows of Window instructions every Period
+	// instructions, with functional warming between them. Results carry
+	// confidence intervals (Result.Sampled) and the sampling parameters
+	// are part of the job cache key — a sampled and an exact run of the
+	// same cell never share a cache entry. Nil (the default) is exact
+	// mode, whose results and exports are unchanged by this field.
+	Sampling *Sampling `json:"sampling,omitempty"`
+}
+
+// Sampling is the campaign-level sampled-simulation regime; zero fields
+// take the engine defaults (sample.DefaultConfig), and a negative
+// Warmup or DetailWarmup means explicitly none. All lengths are in
+// committed real instructions.
+type Sampling struct {
+	// Window is the measured detailed-window length.
+	Window int64 `json:"window,omitempty"`
+	// Period is the sampling period (one window per period).
+	Period int64 `json:"period,omitempty"`
+	// Warmup is the functional-warming length before each window
+	// (0 = engine default, negative = none).
+	Warmup int64 `json:"warmup,omitempty"`
+	// DetailWarmup is the unmeasured detailed pipeline fill per window
+	// (0 = engine default, negative = none).
+	DetailWarmup int64 `json:"detail_warmup,omitempty"`
+}
+
+// DefaultSampling is the engine's standard regime, stated explicitly so
+// it is pinned in specs, exports and cache keys rather than drifting
+// with the engine default.
+func DefaultSampling() Sampling {
+	d := sample.DefaultConfig()
+	return Sampling{
+		Window:       d.WindowInsts,
+		Period:       d.PeriodInsts,
+		Warmup:       d.WarmupInsts,
+		DetailWarmup: d.DetailWarmupInsts,
+	}
+}
+
+// engineConfig converts to the sampling engine's configuration.
+func (s *Sampling) engineConfig() sample.Config {
+	return sample.Config{
+		WindowInsts:       s.Window,
+		PeriodInsts:       s.Period,
+		WarmupInsts:       s.Warmup,
+		DetailWarmupInsts: s.DetailWarmup,
+	}
+}
+
+// Validate checks the regime via the engine's rules, on the resolved
+// form the engine will actually run (zero fields filled with defaults),
+// so spec validation and runtime agree.
+func (s *Sampling) Validate() error {
+	cfg := s.engineConfig().WithDefaults()
+	return cfg.Validate()
+}
+
+// ParseSampling parses the CLI sampling syntax: "on"/"default" for the
+// standard regime, "window/period/warmup" or
+// "window=N,period=N,warmup=N,detailwarmup=N" for a custom one. An empty
+// string means exact simulation (nil).
+func ParseSampling(s string) (*Sampling, error) {
+	s = strings.TrimSpace(s)
+	if s == "" || strings.EqualFold(s, "off") {
+		return nil, nil
+	}
+	if strings.EqualFold(s, "on") || strings.EqualFold(s, "default") {
+		d := DefaultSampling()
+		return &d, nil
+	}
+	out := DefaultSampling()
+	// A user-supplied 0 means "none", which the zero-means-default field
+	// convention expresses as a negative value.
+	explicitZero := func(n int64) int64 {
+		if n == 0 {
+			return -1
+		}
+		return n
+	}
+	if strings.Contains(s, "=") {
+		for _, part := range strings.Split(s, ",") {
+			name, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+			if !ok {
+				return nil, fmt.Errorf("campaign: bad sampling field %q (want name=N)", part)
+			}
+			n, err := strconv.ParseInt(strings.TrimSpace(val), 10, 64)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("campaign: sampling %s: bad value %q", name, val)
+			}
+			switch strings.ToLower(strings.TrimSpace(name)) {
+			case "window", "w":
+				if n == 0 {
+					return nil, fmt.Errorf("campaign: sampling window must be positive")
+				}
+				out.Window = n
+			case "period", "p":
+				if n == 0 {
+					return nil, fmt.Errorf("campaign: sampling period must be positive")
+				}
+				out.Period = n
+			case "warmup", "u":
+				out.Warmup = explicitZero(n)
+			case "detailwarmup", "dw":
+				out.DetailWarmup = explicitZero(n)
+			default:
+				return nil, fmt.Errorf("campaign: unknown sampling field %q (window, period, warmup, detailwarmup)", name)
+			}
+		}
+	} else {
+		parts := strings.Split(s, "/")
+		if len(parts) > 3 {
+			return nil, fmt.Errorf("campaign: bad sampling %q (want window/period[/warmup])", s)
+		}
+		for i, p := range parts {
+			n, err := strconv.ParseInt(strings.TrimSpace(p), 10, 64)
+			if err != nil || n < 0 || (n == 0 && i < 2) {
+				return nil, fmt.Errorf("campaign: bad sampling %q: field %d", s, i)
+			}
+			switch i {
+			case 0:
+				out.Window = n
+			case 1:
+				out.Period = n
+			case 2:
+				out.Warmup = explicitZero(n)
+			}
+		}
+	}
+	if err := out.Validate(); err != nil {
+		return nil, err
+	}
+	return &out, nil
 }
 
 // Axis sweeps one named configuration parameter over a list of values.
@@ -74,6 +209,8 @@ type Job struct {
 	Config sim.Config
 	Budget int64
 	Seed   int64
+	// Sampling selects sampled simulation for this job (nil = exact).
+	Sampling *Sampling
 }
 
 // ID names the job uniquely within its campaign.
@@ -165,6 +302,14 @@ func (s *Spec) Validate() error {
 	if s.Budget < 0 {
 		return fmt.Errorf("campaign: negative budget %d", s.Budget)
 	}
+	if s.Sampling != nil {
+		if err := s.Sampling.Validate(); err != nil {
+			return err
+		}
+		if s.Budget == 0 {
+			return fmt.Errorf("campaign: sampled campaigns need a positive budget")
+		}
+	}
 	return nil
 }
 
@@ -205,12 +350,13 @@ func (s *Spec) Jobs() ([]Job, error) {
 				jc := cfg
 				jc.Control = tech.controlMode()
 				jobs = append(jobs, Job{
-					Bench:  bench,
-					Tech:   tech,
-					Point:  pt,
-					Config: jc,
-					Budget: s.Budget,
-					Seed:   s.Seed,
+					Bench:    bench,
+					Tech:     tech,
+					Point:    pt,
+					Config:   jc,
+					Budget:   s.Budget,
+					Seed:     s.Seed,
+					Sampling: s.Sampling,
 				})
 			}
 		}

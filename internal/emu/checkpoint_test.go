@@ -1,0 +1,172 @@
+package emu
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/prog"
+	"repro/internal/trace"
+)
+
+// checkpointProg builds a program with enough variety to exercise every
+// piece of checkpointed state: memory traffic, call stack depth, FP
+// registers and data-dependent branches.
+func checkpointProg(t *testing.T) *prog.Program {
+	t.Helper()
+	b := prog.NewBuilder("ckpt")
+	base := b.AppendData(make([]int64, 64)...)
+	b.Proc("main").Entry().
+		Li(isa.R(1), 200).
+		Li(isa.R(2), int64(base)).
+		Li(isa.R(26), 0x9e3779b9).
+		Label("loop").
+		Shli(isa.R(27), isa.R(26), 13).Xor(isa.R(26), isa.R(26), isa.R(27)).
+		Shri(isa.R(27), isa.R(26), 7).Xor(isa.R(26), isa.R(26), isa.R(27)).
+		Andi(isa.R(3), isa.R(26), 63*8).
+		Add(isa.R(4), isa.R(2), isa.R(3)).
+		Ld(isa.R(5), isa.R(4), 0).
+		Add(isa.R(5), isa.R(5), isa.R(26)).
+		St(isa.R(5), isa.R(4), 0).
+		ItoF(isa.FP(0), isa.R(5)).
+		FAdd(isa.FP(1), isa.FP(1), isa.FP(0)).
+		Call("helper").
+		Addi(isa.R(1), isa.R(1), -1).
+		Bne(isa.R(1), isa.RZero, "loop").
+		Halt()
+	b.Proc("helper").
+		Andi(isa.R(10), isa.R(26), 1).
+		Beq(isa.R(10), isa.RZero, "even").
+		Addi(isa.R(11), isa.R(11), 3).
+		Jmp("out").
+		Label("even").
+		Addi(isa.R(11), isa.R(11), 7).
+		Label("out").
+		Ret()
+	return b.MustBuild()
+}
+
+func collect(t *testing.T, s trace.Stream, n int) []trace.DynInst {
+	t.Helper()
+	out := make([]trace.DynInst, 0, n)
+	for len(out) < n {
+		d, ok := s.Next()
+		if !ok {
+			break
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// TestCheckpointDeterminism is the randomized restore contract: a
+// checkpoint taken after a random prefix must reproduce the identical
+// remaining DynInst sequence — Seq continuity, branch outcomes, and
+// memory addresses included — both on in-place Restore and on a fresh
+// emulator built from the checkpoint.
+func TestCheckpointDeterminism(t *testing.T) {
+	p := checkpointProg(t)
+	const budget = 3000
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		ref := MustNew(p)
+		ref.Restart = true
+		prefix := rng.Intn(budget - 1)
+		collect(t, ref, prefix)
+		cp := ref.Checkpoint()
+		if cp.Seq() != int64(prefix) {
+			t.Fatalf("trial %d: checkpoint Seq = %d, want %d", trial, cp.Seq(), prefix)
+		}
+		want := collect(t, ref, budget-prefix)
+
+		// In-place restore on a second emulator advanced to a different,
+		// unrelated position.
+		other := MustNew(p)
+		other.Restart = true
+		collect(t, other, rng.Intn(budget))
+		if err := other.Restore(cp); err != nil {
+			t.Fatalf("trial %d: restore: %v", trial, err)
+		}
+		if got := collect(t, other, budget-prefix); !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: restored stream diverges from original", trial)
+		}
+
+		// Fresh emulator from the same checkpoint: the checkpoint must
+		// survive the first restore untouched.
+		fresh, err := NewFromCheckpoint(p, cp)
+		if err != nil {
+			t.Fatalf("trial %d: NewFromCheckpoint: %v", trial, err)
+		}
+		fresh.Restart = true
+		if got := collect(t, fresh, budget-prefix); !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: fresh-from-checkpoint stream diverges", trial)
+		}
+	}
+}
+
+// TestCheckpointIsolation verifies a checkpoint is a true snapshot: state
+// mutated after the checkpoint (registers, memory) must not leak into it.
+func TestCheckpointIsolation(t *testing.T) {
+	p := checkpointProg(t)
+	e := MustNew(p)
+	collect(t, e, 500)
+	cp := e.Checkpoint()
+	wantR5 := e.IntReg(5)
+	// Advance the emulator: it rewrites r5 and the data table in place.
+	collect(t, e, 500)
+	r, err := NewFromCheckpoint(p, cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.IntReg(5); got != wantR5 {
+		t.Fatalf("restored r5 = %d, want %d (checkpoint mutated by later run)", got, wantR5)
+	}
+	// The restored emulator's memory writes must not flow back into the
+	// checkpoint either: restore twice and compare first instructions.
+	collect(t, r, 500)
+	r2, err := NewFromCheckpoint(p, cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := collect(t, r2, 100)
+	r3, _ := NewFromCheckpoint(p, cp)
+	b := collect(t, r3, 100)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("second restore from checkpoint differs from first")
+	}
+}
+
+// TestCheckpointWrongProgram verifies the program-identity guard.
+func TestCheckpointWrongProgram(t *testing.T) {
+	p1 := checkpointProg(t)
+	p2 := checkpointProg(t)
+	e1 := MustNew(p1)
+	cp := e1.Checkpoint()
+	e2 := MustNew(p2)
+	if err := e2.Restore(cp); err == nil {
+		t.Fatal("restore across programs succeeded; want error")
+	}
+}
+
+// TestCheckpointAtHalt verifies halting state round-trips.
+func TestCheckpointAtHalt(t *testing.T) {
+	p := checkpointProg(t)
+	e := MustNew(p) // Restart off: the program eventually halts
+	for {
+		if _, ok := e.Next(); !ok {
+			break
+		}
+	}
+	cp := e.Checkpoint()
+	r, err := NewFromCheckpoint(p, cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Halted() {
+		t.Fatal("restored emulator not halted")
+	}
+	if _, ok := r.Next(); ok {
+		t.Fatal("halted emulator yielded an instruction")
+	}
+}

@@ -53,6 +53,16 @@ func (m *Memory) Store(addr uint64, v int64) {
 // Pages returns the number of mapped pages (for tests).
 func (m *Memory) Pages() int { return len(m.pages) }
 
+// snapshot deep-copies the memory's mapped pages.
+func (m *Memory) snapshot() map[uint64]*[pageWords]int64 {
+	pages := make(map[uint64]*[pageWords]int64, len(m.pages))
+	for k, pg := range m.pages {
+		cp := *pg
+		pages[k] = &cp
+	}
+	return pages
+}
+
 type position struct {
 	proc, block, inst int
 }
@@ -113,6 +123,78 @@ func (e *Emulator) SetIntReg(i int, v int64) {
 
 // Halted reports whether the program has finished.
 func (e *Emulator) Halted() bool { return e.halt }
+
+// Checkpoint is a full architectural snapshot of an emulator: registers,
+// memory, control position, call stack and the committed-instruction
+// count. Restoring it resumes execution mid-stream with the exact same
+// remaining dynamic instruction sequence (Seq continuity included).
+// Microarchitectural state (caches, predictor) is deliberately not part
+// of a checkpoint: a restored stream reproduces a sample window's
+// instructions exactly, but re-measuring its timing requires re-warming
+// that state first (e.g. by restoring an earlier checkpoint and
+// functionally warming forward).
+type Checkpoint struct {
+	prog  *prog.Program
+	iregs [isa.IntRegs]int64
+	fregs [isa.FPRegs]float64
+	pages map[uint64]*[pageWords]int64
+	pos   position
+	stack []position
+	seq   int64
+	halt  bool
+}
+
+// Seq returns the number of instructions executed when the checkpoint was
+// taken; the next instruction the restored emulator yields carries it.
+func (c *Checkpoint) Seq() int64 { return c.seq }
+
+// Checkpoint snapshots the emulator's architectural state. The snapshot
+// is independent of the emulator: later execution does not mutate it.
+func (e *Emulator) Checkpoint() Checkpoint {
+	return Checkpoint{
+		prog:  e.prog,
+		iregs: e.iregs,
+		fregs: e.fregs,
+		pages: e.mem.snapshot(),
+		pos:   e.pos,
+		stack: append([]position(nil), e.stack...),
+		seq:   e.seq,
+		halt:  e.halt,
+	}
+}
+
+// Restore rewinds the emulator to a checkpoint taken from the same
+// program. The checkpoint stays valid and can be restored again.
+func (e *Emulator) Restore(c Checkpoint) error {
+	if c.prog != e.prog {
+		return fmt.Errorf("emu: checkpoint is for program %q, emulator runs %q",
+			c.prog.Name, e.prog.Name)
+	}
+	e.iregs = c.iregs
+	e.fregs = c.fregs
+	e.mem = &Memory{pages: c.pages}
+	// The restored emulator must not write through into the checkpoint's
+	// pages, and a second Restore must see them untouched.
+	e.mem.pages = e.mem.snapshot()
+	e.pos = c.pos
+	e.stack = append(e.stack[:0:0], c.stack...)
+	e.seq = c.seq
+	e.halt = c.halt
+	return nil
+}
+
+// NewFromCheckpoint builds a fresh emulator resuming at a checkpoint of
+// the given linked program.
+func NewFromCheckpoint(p *prog.Program, c Checkpoint) (*Emulator, error) {
+	e, err := New(p)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.Restore(c); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
 
 // Seq returns the number of instructions executed so far.
 func (e *Emulator) Seq() int64 { return e.seq }

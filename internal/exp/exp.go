@@ -84,6 +84,9 @@ type RunResult struct {
 	CompileMS float64 // instrumentation/analysis wall time
 	GenMS     float64 // program generation+link wall time ("baseline" compile)
 	Hints     int     // static hints materialised
+	// Sampled carries the error bars of a sampled run (nil for exact):
+	// Stats then holds population-extrapolated totals.
+	Sampled *campaign.SampledMeta
 }
 
 // Runner executes the evaluation.
@@ -95,6 +98,9 @@ type Runner struct {
 	Parallel   int        // worker count; 0 = GOMAXPROCS
 	CacheDir   string     // on-disk result cache; "" = no caching
 	Benchmarks []string   // benchmark subset; empty = full suite
+	// Sampling runs the suite through the sampled-simulation engine
+	// (nil = exact). Results then carry error bars; see SamplingReport.
+	Sampling *campaign.Sampling
 }
 
 // NewRunner returns a runner with the paper's configuration.
@@ -122,6 +128,7 @@ func (r *Runner) Spec(techs []Technique) campaign.Spec {
 		Seed:       r.Seed,
 		Base:       r.Config,
 		Params:     r.Params,
+		Sampling:   r.Sampling,
 	}
 }
 
@@ -152,6 +159,7 @@ func runResultOf(cr campaign.Result) RunResult {
 		CompileMS: cr.CompileMS,
 		GenMS:     cr.GenMS,
 		Hints:     cr.Hints,
+		Sampled:   cr.Sampled,
 	}
 }
 

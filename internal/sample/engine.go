@@ -1,0 +1,261 @@
+package sample
+
+import (
+	"context"
+	"fmt"
+	"math/bits"
+
+	"repro/internal/bpred"
+	"repro/internal/cache"
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/prog"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// countedStream wraps the emulator, counting committed real (non-hint)
+// instructions and tracking the most recent issue-queue hint so a
+// detailed window can start with the enclosing region's hint applied
+// (Core.PresetHint) instead of an uncontrolled queue. The detailed
+// windows consume it as their trace.Stream; the functional phases update
+// the same counters inline (see Run) to avoid a call and a record copy
+// per fast-forwarded instruction.
+type countedStream struct {
+	e        *emu.Emulator
+	real     int64
+	lastHint int
+}
+
+// observe applies the phase-independent bookkeeping for one record.
+func (s *countedStream) observe(d *trace.DynInst) {
+	if d.Hint > 0 {
+		s.lastHint = d.Hint
+	}
+	if d.Op != isa.HintNop {
+		s.real++
+	}
+}
+
+// Next implements trace.Stream.
+func (s *countedStream) Next() (trace.DynInst, bool) {
+	d, ok := s.e.Next()
+	if !ok {
+		return d, ok
+	}
+	s.observe(&d)
+	return d, ok
+}
+
+// warmer drives the update-only warming paths of the cache hierarchy and
+// branch predictor for one dynamic instruction, mirroring what the
+// detailed core's front end and memory pipeline would touch: one I-cache
+// access per line transition, predictor training for every control
+// transfer, and D-cache state transitions for every load and store. It
+// runs once per fast-forwarded instruction, so it is written for the hot
+// path: the instruction class is resolved once and the I-line check uses
+// a shift when the line size is a power of two.
+type warmer struct {
+	mem       *cache.Hierarchy
+	bp        *bpred.Predictor
+	lineBytes int
+	lineShift int // log2(lineBytes) when a power of two, else -1
+	lastLine  int
+}
+
+func newWarmer(mem *cache.Hierarchy, bp *bpred.Predictor) *warmer {
+	w := &warmer{mem: mem, bp: bp, lineBytes: mem.IL1.Config().LineBytes, lastLine: -1, lineShift: -1}
+	if lb := w.lineBytes; lb > 0 && lb&(lb-1) == 0 {
+		w.lineShift = bits.TrailingZeros(uint(lb))
+	}
+	return w
+}
+
+func (w *warmer) observe(d *trace.DynInst) {
+	var line int
+	if w.lineShift >= 0 {
+		line = d.PC >> uint(w.lineShift)
+	} else {
+		line = d.PC / w.lineBytes
+	}
+	if line != w.lastLine {
+		w.lastLine = line
+		w.mem.WarmFetch(d.PC)
+	}
+	switch d.Op.Class() {
+	case isa.ClassLoad:
+		w.mem.WarmLoad(d.Addr)
+	case isa.ClassStore:
+		w.mem.WarmStore(d.Addr)
+	case isa.ClassBranch:
+		w.bp.TrainCond(d.PC, d.Taken)
+		if d.Taken {
+			w.bp.WarmBTB(d.PC, d.NextPC)
+		}
+	case isa.ClassCtrl:
+		switch {
+		case d.Op == isa.Jmp:
+			w.bp.WarmBTB(d.PC, d.NextPC)
+		case d.Op.IsCall():
+			w.bp.WarmCall(d.PC + isa.InstBytes)
+			w.bp.WarmBTB(d.PC, d.NextPC)
+		case d.Op == isa.Ret:
+			w.bp.WarmReturn()
+		}
+	}
+}
+
+// Run executes a sampled simulation of the program under the processor
+// configuration, over budget committed real instructions (the same
+// budget semantics as sim.RunProgram: the emulator restarts the program
+// as needed). It returns the extrapolated statistics with per-window
+// detail; on cancellation the partial report accumulated so far is
+// returned alongside ctx's error.
+//
+// The caller's cfg.MaxInsts and cfg.MaxCycles are ignored: windows set
+// their own commit targets and per-window cycle safety nets. cfg.Probe,
+// if any, observes detailed windows only, with cycle numbers restarting
+// at each window.
+func Run(ctx context.Context, cfg sim.Config, p *prog.Program, budget int64, sc Config) (*Report, error) {
+	sc = sc.WithDefaults()
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	if budget <= 0 {
+		return nil, fmt.Errorf("sample: sampled runs need a positive budget, got %d", budget)
+	}
+	e, err := emu.New(p)
+	if err != nil {
+		return nil, err
+	}
+	e.Restart = true
+	mem, err := cache.NewHierarchy(cfg.Caches)
+	if err != nil {
+		return nil, err
+	}
+	bp := bpred.New(cfg.Bpred)
+	cs := &countedStream{e: e}
+	warm := newWarmer(mem, bp)
+	rep := &Report{Confidence: sc.Confidence}
+	ffPerPeriod := sc.PeriodInsts - sc.WarmupInsts - sc.DetailWarmupInsts - sc.WindowInsts
+	// Deterministic per-run jitter source: windows must not alias with
+	// loop periodicity in the workload, and re-runs must land identical
+	// results for the campaign cache. Seeded from the regime so equal
+	// jobs sample equal positions.
+	jitterState := uint64(budget)*2654435761 + uint64(sc.PeriodInsts) + 1
+	jitteredGap := func() int64 {
+		if sc.JitterPct <= 0 || ffPerPeriod == 0 {
+			return ffPerPeriod
+		}
+		jitterState ^= jitterState << 13
+		jitterState ^= jitterState >> 7
+		jitterState ^= jitterState << 17
+		span := ffPerPeriod * int64(sc.JitterPct) / 100
+		return ffPerPeriod - span + int64(jitterState%uint64(2*span+1))
+	}
+
+	for cs.real < budget {
+		if err := ctx.Err(); err != nil {
+			rep.finalize(cs.real)
+			return rep, err
+		}
+
+		// Functional warming: architectural execution plus cache and
+		// predictor state transitions, no statistics.
+		warmStart := cs.real
+		stop := warmStart + sc.WarmupInsts
+		if stop > budget {
+			stop = budget
+		}
+		for cs.real < stop {
+			d, ok := e.Next()
+			if !ok {
+				break
+			}
+			cs.observe(&d)
+			warm.observe(&d)
+		}
+		rep.WarmedReal += cs.real - warmStart
+		if cs.real >= budget || e.Halted() {
+			break
+		}
+
+		// Detailed window over the shared warmed state. The window may
+		// shrink at the end of the budget; the measured unit shrinks last.
+		detail := sc.DetailWarmupInsts + sc.WindowInsts
+		if remaining := budget - cs.real; detail > remaining {
+			detail = remaining
+		}
+		measured := sc.WindowInsts
+		if measured > detail {
+			measured = detail
+		}
+		dwarm := detail - measured
+
+		if sc.KeepCheckpoints {
+			rep.Checkpoints = append(rep.Checkpoints, e.Checkpoint())
+		}
+		startSeq := e.Seq()
+		// Reset the shared state's counters so segment snapshots hold this
+		// window's traffic only (warming charges nothing by construction).
+		mem.IL1.Stats, mem.DL1.Stats, mem.L2.Stats = cache.Stats{}, cache.Stats{}, cache.Stats{}
+		bp.Stats = bpred.Stats{}
+
+		wcfg := cfg
+		wcfg.MaxInsts = detail
+		wcfg.MaxCycles = sim.SafetyCycles(detail)
+		core, err := sim.NewResumable(wcfg, cs, mem, bp)
+		if err != nil {
+			return nil, err
+		}
+		core.PresetHint(cs.lastHint)
+		var fillSnap sim.Stats
+		if dwarm > 0 {
+			if fillSnap, err = core.RunSegment(ctx, dwarm); err != nil {
+				rep.finalize(cs.real)
+				return rep, err
+			}
+		}
+		full, err := core.RunSegment(ctx, detail)
+		win := subStats(&full, &fillSnap)
+		rep.Windows = append(rep.Windows, Window{StartSeq: startSeq, Stats: win})
+		if err != nil {
+			rep.finalize(cs.real)
+			return rep, err
+		}
+
+		// Fast-forward: architectural state always; cache and predictor
+		// warming too unless PureFastForward. (Instructions the window
+		// core fetched but did not commit were already consumed from the
+		// stream and executed architecturally; they simply join the gap.)
+		ffStart := cs.real
+		stop = ffStart + jitteredGap()
+		if stop > budget {
+			stop = budget
+		}
+		if sc.PureFastForward {
+			for cs.real < stop {
+				d, ok := e.Next()
+				if !ok {
+					break
+				}
+				cs.observe(&d)
+			}
+		} else {
+			for cs.real < stop {
+				d, ok := e.Next()
+				if !ok {
+					break
+				}
+				cs.observe(&d)
+				warm.observe(&d)
+			}
+		}
+		rep.FastForwardReal += cs.real - ffStart
+		if e.Halted() {
+			break
+		}
+	}
+	rep.finalize(cs.real)
+	return rep, nil
+}

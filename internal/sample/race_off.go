@@ -1,0 +1,9 @@
+//go:build !race
+
+package sample
+
+// raceEnabled reports whether the race detector is compiled in; the
+// accuracy-gate tests skip under it (10-20x slowdown makes the runs
+// expensive and the wall-clock speedup measurement meaningless — the
+// dedicated CI accuracy-gate job runs them natively).
+const raceEnabled = false

@@ -1,0 +1,151 @@
+package sample
+
+import (
+	"math"
+	"reflect"
+
+	"repro/internal/emu"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Window is one measured detailed window.
+type Window struct {
+	// StartSeq is the emulator sequence number at the window start (after
+	// functional warming, before detailed pipeline fill).
+	StartSeq int64
+	// Stats are the window's own event counts (pipeline-fill segment
+	// excluded).
+	Stats sim.Stats
+}
+
+// Metric is a sampled quantity with its confidence half-width: the
+// population value is Mean ± Half at the report's confidence level.
+type Metric struct {
+	Mean float64 `json:"mean"`
+	Half float64 `json:"half"`
+}
+
+// RelHalfPct returns the half-width as a percentage of the mean (0 when
+// the mean is 0) — the "±x%" form the reports print.
+func (m Metric) RelHalfPct() float64 {
+	if m.Mean == 0 {
+		return 0
+	}
+	return 100 * m.Half / math.Abs(m.Mean)
+}
+
+// Report is the outcome of a sampled run.
+type Report struct {
+	// Stats are the population-extrapolated totals: every counter of the
+	// summed window statistics scaled by TotalReal/SampledReal, so the
+	// report plugs into the power model and exporters like an exact run.
+	Stats sim.Stats
+
+	// Windows holds the per-window measurements.
+	Windows []Window
+	// Checkpoints holds the architectural checkpoint taken at each window
+	// start (Config.KeepCheckpoints).
+	Checkpoints []emu.Checkpoint
+
+	// TotalReal is the committed real instructions the run covered
+	// (sampled + warmed + fast-forwarded + pipeline fill); SampledReal of
+	// them were measured in detailed windows.
+	TotalReal   int64
+	SampledReal int64
+	// WarmedReal and FastForwardReal break down the functional phases.
+	WarmedReal      int64
+	FastForwardReal int64
+
+	// Confidence is the level of every interval below.
+	Confidence float64
+
+	// Per-metric interval estimates over the window population.
+	IPC            Metric
+	DL1MissRate    Metric
+	L2MissRate     Metric
+	MispredictRate Metric
+}
+
+// SampledFraction returns the measured share of the instruction stream.
+func (r *Report) SampledFraction() float64 {
+	if r.TotalReal == 0 {
+		return 0
+	}
+	return float64(r.SampledReal) / float64(r.TotalReal)
+}
+
+// finalize computes the extrapolated totals and interval estimates from
+// the accumulated windows.
+func (r *Report) finalize(totalReal int64) {
+	r.TotalReal = totalReal
+	var sum sim.Stats
+	ipcs := make([]float64, 0, len(r.Windows))
+	dl1 := make([]float64, 0, len(r.Windows))
+	l2 := make([]float64, 0, len(r.Windows))
+	mpred := make([]float64, 0, len(r.Windows))
+	for i := range r.Windows {
+		w := &r.Windows[i].Stats
+		addStats(&sum, w)
+		r.SampledReal += w.CommittedReal
+		ipcs = append(ipcs, w.IPC())
+		dl1 = append(dl1, w.DL1.MissRate())
+		l2 = append(l2, w.L2.MissRate())
+		mpred = append(mpred, w.Bpred.MispredictRate())
+	}
+	scale := 1.0
+	if r.SampledReal > 0 {
+		scale = float64(totalReal) / float64(r.SampledReal)
+	}
+	r.Stats = scaleStats(&sum, scale)
+	metric := func(xs []float64) Metric {
+		mean, half := stats.MeanCI(xs, r.Confidence)
+		return Metric{Mean: mean, Half: half}
+	}
+	r.IPC = metric(ipcs)
+	r.DL1MissRate = metric(dl1)
+	r.L2MissRate = metric(l2)
+	r.MispredictRate = metric(mpred)
+}
+
+// --- counter arithmetic over the sim.Stats tree ---
+// sim.Stats is a tree of int64 event counters (top level plus the iq,
+// regfile, bpred and cache sub-structs). The three operations below walk
+// it with reflection so new counters are picked up automatically.
+
+// zipInt64 sets every int64 field of dst to f(a, b) over the matching
+// fields; all three values must share dst's struct type.
+func zipInt64(dst, a, b reflect.Value, f func(x, y int64) int64) {
+	switch dst.Kind() {
+	case reflect.Struct:
+		for i := 0; i < dst.NumField(); i++ {
+			zipInt64(dst.Field(i), a.Field(i), b.Field(i), f)
+		}
+	case reflect.Int64:
+		dst.SetInt(f(a.Int(), b.Int()))
+	}
+}
+
+// addStats accumulates src's counters into dst.
+func addStats(dst, src *sim.Stats) {
+	d := reflect.ValueOf(dst).Elem()
+	zipInt64(d, d, reflect.ValueOf(src).Elem(), func(x, y int64) int64 { return x + y })
+}
+
+// subStats returns a - b per counter.
+func subStats(a, b *sim.Stats) sim.Stats {
+	var out sim.Stats
+	zipInt64(reflect.ValueOf(&out).Elem(), reflect.ValueOf(a).Elem(), reflect.ValueOf(b).Elem(),
+		func(x, y int64) int64 { return x - y })
+	return out
+}
+
+// scaleStats returns s with every counter scaled by f (rounded to
+// nearest) — the population extrapolation.
+func scaleStats(s *sim.Stats, f float64) sim.Stats {
+	var out sim.Stats
+	src := reflect.ValueOf(s).Elem()
+	zipInt64(reflect.ValueOf(&out).Elem(), src, src,
+		func(x, _ int64) int64 { return int64(math.Round(float64(x) * f)) })
+	return out
+}

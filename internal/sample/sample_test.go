@@ -1,0 +1,155 @@
+package sample
+
+import (
+	"context"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func testConfig() Config {
+	// Small regime so unit tests stay fast: 200-inst windows every 2k.
+	return Config{WindowInsts: 200, PeriodInsts: 2000, WarmupInsts: 400, DetailWarmupInsts: 200}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	b, _ := workload.ByName("vpr")
+	cfg := sim.DefaultConfig()
+	a, err := Run(context.Background(), cfg, b.Build(42), 100_000, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Run(context.Background(), cfg, b.Build(42), 100_000, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, c) {
+		t.Fatal("two identical sampled runs produced different reports")
+	}
+	if len(a.Windows) == 0 {
+		t.Fatal("no windows measured")
+	}
+	if a.SampledReal == 0 || a.TotalReal < a.SampledReal {
+		t.Fatalf("accounting broken: sampled %d of total %d", a.SampledReal, a.TotalReal)
+	}
+	if a.Stats.Cycles == 0 || a.Stats.CommittedReal == 0 {
+		t.Fatal("extrapolated stats empty")
+	}
+	// Extrapolated committed-real must land near the budget.
+	if got := a.Stats.CommittedReal; got < 90_000 || got > 110_000 {
+		t.Errorf("extrapolated CommittedReal = %d, want ~100000", got)
+	}
+}
+
+func TestRunKeepsCheckpoints(t *testing.T) {
+	b, _ := workload.ByName("gzip")
+	sc := testConfig()
+	sc.KeepCheckpoints = true
+	rep, err := Run(context.Background(), sim.DefaultConfig(), b.Build(42), 50_000, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Checkpoints) != len(rep.Windows) {
+		t.Fatalf("%d checkpoints for %d windows", len(rep.Checkpoints), len(rep.Windows))
+	}
+	for i := range rep.Windows {
+		if rep.Checkpoints[i].Seq() != rep.Windows[i].StartSeq {
+			t.Fatalf("window %d: checkpoint Seq %d != window start %d",
+				i, rep.Checkpoints[i].Seq(), rep.Windows[i].StartSeq)
+		}
+	}
+	// Window starts must be strictly increasing along the stream.
+	for i := 1; i < len(rep.Windows); i++ {
+		if rep.Windows[i].StartSeq <= rep.Windows[i-1].StartSeq {
+			t.Fatalf("window starts not increasing: %d then %d",
+				rep.Windows[i-1].StartSeq, rep.Windows[i].StartSeq)
+		}
+	}
+}
+
+func TestRunPureFastForward(t *testing.T) {
+	b, _ := workload.ByName("gzip")
+	sc := testConfig()
+	sc.PureFastForward = true
+	rep, err := Run(context.Background(), sim.DefaultConfig(), b.Build(42), 50_000, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Windows) == 0 || rep.Stats.IPC() <= 0 {
+		t.Fatalf("pure fast-forward run broken: %d windows, IPC %v",
+			len(rep.Windows), rep.Stats.IPC())
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	b, _ := workload.ByName("gzip")
+	p := b.Build(42)
+	cfg := sim.DefaultConfig()
+	if _, err := Run(context.Background(), cfg, p, 0, Config{}); err == nil {
+		t.Error("zero budget accepted")
+	}
+	if _, err := Run(context.Background(), cfg, p, 1000, Config{WindowInsts: -1}); err == nil {
+		t.Error("negative window accepted")
+	}
+	if _, err := Run(context.Background(), cfg, p, 1000,
+		Config{WindowInsts: 1000, PeriodInsts: 500}); err == nil {
+		t.Error("period < window accepted")
+	}
+	if _, err := Run(context.Background(), cfg, p, 1000, Config{JitterPct: 95}); err == nil {
+		t.Error("jitter > 90% accepted")
+	}
+}
+
+func TestRunCancellation(t *testing.T) {
+	b, _ := workload.ByName("gzip")
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := Run(ctx, sim.DefaultConfig(), b.Build(42), 1<<40, Config{})
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("cancelled sampled run returned nil error")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("sampled run did not notice cancellation")
+	}
+}
+
+func TestCounterArithmetic(t *testing.T) {
+	var a, b sim.Stats
+	a.Cycles, a.CommittedReal, a.IQ.Issues, a.DL1.Misses = 100, 50, 40, 7
+	b.Cycles, b.CommittedReal, b.IQ.Issues, b.DL1.Misses = 10, 5, 4, 2
+	var sum sim.Stats
+	addStats(&sum, &a)
+	addStats(&sum, &b)
+	if sum.Cycles != 110 || sum.IQ.Issues != 44 || sum.DL1.Misses != 9 {
+		t.Fatalf("addStats: %+v", sum)
+	}
+	d := subStats(&sum, &b)
+	if d.Cycles != 100 || d.IQ.Issues != 40 || d.DL1.Misses != 7 {
+		t.Fatalf("subStats: %+v", d)
+	}
+	s := scaleStats(&a, 2.5)
+	if s.Cycles != 250 || s.CommittedReal != 125 || s.IQ.Issues != 100 {
+		t.Fatalf("scaleStats: %+v", s)
+	}
+	// Scaling preserves derived ratios.
+	if got, want := s.IPC(), a.IPC(); got != want {
+		t.Fatalf("scaled IPC %v != %v", got, want)
+	}
+}
+
+func TestDetailedFraction(t *testing.T) {
+	c := Config{WindowInsts: 1000, PeriodInsts: 50000, WarmupInsts: 2000, DetailWarmupInsts: 1500}
+	if got := c.DetailedFraction(); got != 0.05 {
+		t.Fatalf("DetailedFraction = %v, want 0.05", got)
+	}
+}

@@ -1,0 +1,74 @@
+package sample
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// TestTuneRegimes sweeps sampling regimes and prints the accuracy/speed
+// frontier on the gate benchmarks — a development aid for choosing
+// DefaultConfig, armed only with SAMPLE_TUNE=1.
+func TestTuneRegimes(t *testing.T) {
+	if os.Getenv("SAMPLE_TUNE") != "1" {
+		t.Skip("set SAMPLE_TUNE=1 to run the regime sweep")
+	}
+	cfg := sim.DefaultConfig()
+	type exactRes struct {
+		ipc float64
+		dur time.Duration
+	}
+	exact := map[string]exactRes{}
+	for _, name := range gateBenches {
+		b, _ := workload.ByName(name)
+		p := b.Build(42)
+		t0 := time.Now()
+		st, err := sim.RunProgram(cfg, p, gateBudget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact[name] = exactRes{st.IPC(), time.Since(t0)}
+	}
+	regimes := []Config{
+		{WindowInsts: 1000, PeriodInsts: 20000, WarmupInsts: 2000, DetailWarmupInsts: 500},
+		{WindowInsts: 1000, PeriodInsts: 30000, WarmupInsts: 2000, DetailWarmupInsts: 500},
+		{WindowInsts: 1000, PeriodInsts: 40000, WarmupInsts: 1000, DetailWarmupInsts: 500},
+		{WindowInsts: 1000, PeriodInsts: 20000, WarmupInsts: 2000, DetailWarmupInsts: 1000},
+		{WindowInsts: 1000, PeriodInsts: 50000, WarmupInsts: 2000, DetailWarmupInsts: 1000},
+		{WindowInsts: 1000, PeriodInsts: 100000, WarmupInsts: 2000, DetailWarmupInsts: 1000},
+		{WindowInsts: 2000, PeriodInsts: 50000, WarmupInsts: 2000, DetailWarmupInsts: 1000},
+		{WindowInsts: 500, PeriodInsts: 50000, WarmupInsts: 2000, DetailWarmupInsts: 1000},
+		{WindowInsts: 1000, PeriodInsts: 50000, WarmupInsts: 2000, DetailWarmupInsts: 2000},
+		{WindowInsts: 1000, PeriodInsts: 60000, WarmupInsts: 2000, DetailWarmupInsts: 2000},
+		{WindowInsts: 1000, PeriodInsts: 75000, WarmupInsts: 2000, DetailWarmupInsts: 2000},
+	}
+	for _, sc := range regimes {
+		var sumAbsErr, worst float64
+		var tSampled, tExact time.Duration
+		for _, name := range gateBenches {
+			b, _ := workload.ByName(name)
+			t0 := time.Now()
+			rep, err := Run(context.Background(), cfg, b.Build(42), gateBudget, sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d := time.Since(t0)
+			tSampled += d
+			tExact += exact[name].dur
+			e := relErrPct(rep.Stats.IPC(), exact[name].ipc)
+			sumAbsErr += e
+			if e > worst {
+				worst = e
+			}
+		}
+		fmt.Printf("w=%-5d p=%-6d warm=%-5d dwarm=%-5d det=%4.1f%%  meanErr %.2f%%  worst %.2f%%  speedup %.1fx\n",
+			sc.WindowInsts, sc.PeriodInsts, sc.WarmupInsts, sc.DetailWarmupInsts,
+			100*sc.DetailedFraction(), sumAbsErr/float64(len(gateBenches)), worst,
+			float64(tExact)/float64(tSampled))
+	}
+}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 
@@ -95,6 +96,10 @@ type Core struct {
 	loads          int // loads in flight for LSQ occupancy
 
 	picks []pick // issue-cycle scratch, reused across cycles
+
+	// segTarget stops the run at a total committed-real count (see
+	// RunSegment); 0 = unset.
+	segTarget int64
 
 	// refSched selects the original scan-based scheduler (linear wakeup,
 	// full-window select, FIFO-scan disambiguation) for differential
@@ -214,6 +219,21 @@ func (s *Stats) AvgIntRFLive() float64 {
 
 // New builds a core over a dynamic instruction stream.
 func New(cfg Config, stream trace.Stream) (*Core, error) {
+	mem, err := cache.NewHierarchy(cfg.Caches)
+	if err != nil {
+		return nil, err
+	}
+	return NewResumable(cfg, stream, mem, bpred.New(cfg.Bpred))
+}
+
+// NewResumable builds a core over a pre-existing memory hierarchy and
+// branch predictor — the entry point of the sampled-simulation engine,
+// which functionally warms both between detailed windows and hands them
+// to a fresh core per window. The stream may resume mid-run: nothing in
+// the core assumes sequence numbers start at 0 (store ordering and
+// forwarding use only relative Seq comparisons), and the caller's
+// MaxInsts counts commits within this run, not absolute positions.
+func NewResumable(cfg Config, stream trace.Stream, mem *cache.Hierarchy, bp *bpred.Predictor) (*Core, error) {
 	q, err := iq.New(cfg.IQ)
 	if err != nil {
 		return nil, err
@@ -226,9 +246,8 @@ func New(cfg Config, stream trace.Stream) (*Core, error) {
 	if err != nil {
 		return nil, err
 	}
-	mem, err := cache.NewHierarchy(cfg.Caches)
-	if err != nil {
-		return nil, err
+	if mem == nil || bp == nil {
+		return nil, fmt.Errorf("sim: nil hierarchy or predictor")
 	}
 	if cfg.ROBSize <= 0 || cfg.FetchQueueSize <= 0 {
 		return nil, fmt.Errorf("sim: non-positive ROB or fetch queue size")
@@ -245,7 +264,7 @@ func New(cfg Config, stream trace.Stream) (*Core, error) {
 		irf:           irf,
 		frf:           frf,
 		mem:           mem,
-		bp:            bpred.New(cfg.Bpred),
+		bp:            bp,
 		stream:        stream,
 		rob:           make([]uop, cfg.ROBSize),
 		fq:            make([]fqEntry, cfg.FetchQueueSize),
@@ -275,6 +294,17 @@ func (c *Core) UseReferenceScheduler() {
 	c.q.SetReference(true)
 }
 
+// PresetHint seeds the issue queue's max_new_range before the run, as if
+// a hint had just been dispatched. The sampled-simulation engine uses it
+// to carry the last hint observed during fast-forward into a detailed
+// window, which would otherwise start each window with an uncontrolled
+// queue under ControlHints. It is a no-op unless hints control the queue.
+func (c *Core) PresetHint(entries int) {
+	if c.cfg.Control == ControlHints && entries > 0 {
+		c.q.SetHint(entries)
+	}
+}
+
 // robCap returns the effective ROB capacity (abella caps it at 64).
 func (c *Core) robCap() int {
 	if c.cfg.Control == ControlAdaptive && c.cfg.Adaptive.ROBLimit > 0 &&
@@ -284,13 +314,46 @@ func (c *Core) robCap() int {
 	return c.cfg.ROBSize
 }
 
+// ctxPollCycles is how often RunContext polls for cancellation. A power
+// of two so the check is a mask; 4096 cycles is microseconds of wall
+// time, far below human-visible cancellation latency, while keeping the
+// branch essentially free in the cycle loop.
+const ctxPollCycles = 4096
+
 // Run simulates until the stream is exhausted and the pipeline drains, or
 // a configured limit is reached, and returns the statistics.
 func (c *Core) Run() Stats {
+	st, _ := c.RunContext(context.Background())
+	return st
+}
+
+// RunContext is Run with cooperative cancellation: the cycle loop polls
+// ctx every ctxPollCycles cycles, so campaign cancellation takes effect
+// mid-job instead of at job granularity. On cancellation the partial
+// statistics accumulated so far are returned alongside ctx's error.
+func (c *Core) RunContext(ctx context.Context) (Stats, error) {
+	return c.RunSegment(ctx, 0)
+}
+
+// RunSegment runs until target total committed real instructions (0 =
+// no segment limit), the configured limits, or cancellation — whichever
+// comes first — and returns a snapshot of the cumulative statistics. It
+// may be called repeatedly with increasing targets: the sampled
+// simulation engine runs each detailed window as two segments (detailed
+// pipeline warm-up, then the measured unit) and differences the
+// snapshots, so the measured unit starts from a full pipeline.
+func (c *Core) RunSegment(ctx context.Context, target int64) (Stats, error) {
+	c.segTarget = target
+	var err error
 	for !c.done() {
 		c.step()
 		if c.cfg.MaxCycles > 0 && c.cycle >= c.cfg.MaxCycles {
 			break
+		}
+		if c.cycle&(ctxPollCycles-1) == 0 {
+			if err = ctx.Err(); err != nil {
+				break
+			}
 		}
 	}
 	c.st.Cycles = c.cycle
@@ -306,10 +369,13 @@ func (c *Core) Run() Stats {
 	if c.ctrl != nil {
 		c.st.Resizes = c.ctrl.Resizes()
 	}
-	return c.st
+	return c.st, err
 }
 
 func (c *Core) done() bool {
+	if c.segTarget > 0 && c.committedReal >= c.segTarget {
+		return true
+	}
 	if c.cfg.MaxInsts > 0 && c.committedReal >= c.cfg.MaxInsts {
 		return true
 	}
@@ -375,6 +441,9 @@ func (c *Core) commit() {
 			c.robHead = 0
 		}
 		c.robCount--
+		if c.segTarget > 0 && c.committedReal >= c.segTarget {
+			return
+		}
 		if c.cfg.MaxInsts > 0 && c.committedReal >= c.cfg.MaxInsts {
 			return
 		}

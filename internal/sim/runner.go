@@ -1,9 +1,25 @@
 package sim
 
 import (
+	"context"
+	"math"
+
 	"repro/internal/emu"
 	"repro/internal/prog"
 )
+
+// SafetyCycles returns the default MaxCycles for a budgeted run: no sane
+// run needs fewer than 0.05 IPC, so 20 cycles per instruction is a pure
+// hang detector. The product saturates at MaxInt64 instead of wrapping
+// negative for budgets above 2^63/20, which would otherwise disable the
+// `MaxCycles > 0` check entirely.
+func SafetyCycles(budget int64) int64 {
+	const factor = 20
+	if budget > math.MaxInt64/factor {
+		return math.MaxInt64
+	}
+	return budget * factor
+}
 
 // RunProgram emulates a linked program and simulates its timing in one
 // call. With budget > 0 the emulator restarts the program as needed and
@@ -11,6 +27,13 @@ import (
 // fixed-instruction-window methodology); with budget == 0 the program
 // runs once to completion.
 func RunProgram(cfg Config, p *prog.Program, budget int64) (Stats, error) {
+	return RunProgramContext(context.Background(), cfg, p, budget)
+}
+
+// RunProgramContext is RunProgram with cooperative cancellation: the
+// simulator polls ctx mid-run, returning the partial statistics and
+// ctx's error when cancelled.
+func RunProgramContext(ctx context.Context, cfg Config, p *prog.Program, budget int64) (Stats, error) {
 	e, err := emu.New(p)
 	if err != nil {
 		return Stats{}, err
@@ -19,13 +42,12 @@ func RunProgram(cfg Config, p *prog.Program, budget int64) (Stats, error) {
 		e.Restart = true
 		cfg.MaxInsts = budget
 		if cfg.MaxCycles == 0 {
-			// Safety net: no sane run needs fewer than 0.05 IPC.
-			cfg.MaxCycles = budget * 20
+			cfg.MaxCycles = SafetyCycles(budget)
 		}
 	}
 	core, err := New(cfg, e)
 	if err != nil {
 		return Stats{}, err
 	}
-	return core.Run(), nil
+	return core.RunContext(ctx)
 }

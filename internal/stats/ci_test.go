@@ -1,0 +1,63 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSampleStdDev(t *testing.T) {
+	// {2,4,4,4,5,5,7,9}: population stddev 2, sample stddev sqrt(32/7).
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	want := math.Sqrt(32.0 / 7)
+	if got := SampleStdDev(xs); math.Abs(got-want) > 1e-12 {
+		t.Errorf("SampleStdDev = %v, want %v", got, want)
+	}
+	if SampleStdDev(nil) != 0 || SampleStdDev([]float64{3}) != 0 {
+		t.Error("degenerate inputs must yield 0")
+	}
+}
+
+func TestMeanCIKnownValues(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	mean, half := MeanCI(xs, 0.95)
+	if mean != 5 {
+		t.Errorf("mean = %v, want 5", mean)
+	}
+	want := 1.960 * math.Sqrt(32.0/7) / math.Sqrt(8)
+	if math.Abs(half-want) > 1e-12 {
+		t.Errorf("half = %v, want %v", half, want)
+	}
+	// Wider confidence → wider interval.
+	_, h99 := MeanCI(xs, 0.99)
+	_, h90 := MeanCI(xs, 0.90)
+	if !(h99 > half && half > h90) {
+		t.Errorf("interval widths not monotone: 99%%=%v 95%%=%v 90%%=%v", h99, half, h90)
+	}
+	// Degenerate inputs: no dispersion information.
+	if m, h := MeanCI([]float64{7}, 0.95); m != 7 || h != 0 {
+		t.Errorf("single observation: got %v ± %v", m, h)
+	}
+}
+
+// TestMeanCICoverage checks the interval actually covers the true mean at
+// roughly the nominal rate on a known distribution.
+func TestMeanCICoverage(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const trials, n = 2000, 40
+	covered := 0
+	for i := 0; i < trials; i++ {
+		xs := make([]float64, n)
+		for j := range xs {
+			xs[j] = rng.NormFloat64()*3 + 10
+		}
+		mean, half := MeanCI(xs, 0.95)
+		if mean-half <= 10 && 10 <= mean+half {
+			covered++
+		}
+	}
+	rate := float64(covered) / trials
+	if rate < 0.92 || rate > 0.98 {
+		t.Errorf("95%% CI covered the true mean in %.1f%% of trials", rate*100)
+	}
+}

@@ -53,6 +53,55 @@ func StdDev(xs []float64) float64 {
 	return math.Sqrt(s / float64(len(xs)))
 }
 
+// SampleStdDev returns the sample (n-1) standard deviation — the
+// estimator confidence intervals are built on.
+func SampleStdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)-1))
+}
+
+// zFor returns the two-sided normal critical value for a confidence
+// level. The sampled-simulation engine's windows number in the tens to
+// thousands, so the normal approximation to the t distribution is
+// adequate (SMARTS makes the same approximation).
+func zFor(conf float64) float64 {
+	switch {
+	case conf >= 0.99:
+		return 2.576
+	case conf >= 0.98:
+		return 2.326
+	case conf >= 0.95:
+		return 1.960
+	case conf >= 0.90:
+		return 1.645
+	case conf >= 0.80:
+		return 1.282
+	default:
+		return 1.0 // ~68%
+	}
+}
+
+// MeanCI returns the sample mean and the half-width of its two-sided
+// confidence interval at level conf (e.g. 0.95): mean ± half. With fewer
+// than two observations the half-width is 0 — the caller has no
+// dispersion information, not a zero-width certainty.
+func MeanCI(xs []float64, conf float64) (mean, half float64) {
+	mean = Mean(xs)
+	if len(xs) < 2 {
+		return mean, 0
+	}
+	half = zFor(conf) * SampleStdDev(xs) / math.Sqrt(float64(len(xs)))
+	return mean, half
+}
+
 // MinMax returns the extrema (0,0 for empty input).
 func MinMax(xs []float64) (min, max float64) {
 	if len(xs) == 0 {

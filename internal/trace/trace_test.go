@@ -87,3 +87,63 @@ func TestLimit(t *testing.T) {
 		t.Errorf("oversized limit yielded %d, want 2", n)
 	}
 }
+
+// countingStream records how many times Next is called — for verifying
+// wrappers do not pull past exhaustion.
+type countingStream struct {
+	calls int
+	n     int
+}
+
+func (c *countingStream) Next() (DynInst, bool) {
+	c.calls++
+	if c.n <= 0 {
+		return DynInst{}, false
+	}
+	c.n--
+	return DynInst{}, true
+}
+
+// TestStreamContract pins the Stream contract the simulator and the
+// sampled-simulation engine rely on: once Next returns false it keeps
+// returning false, and an exhausted Limit never touches the wrapped
+// stream again.
+func TestStreamContract(t *testing.T) {
+	s := &SliceStream{Insts: []DynInst{{Seq: 5}}}
+	s.Next()
+	for i := 0; i < 3; i++ {
+		if _, ok := s.Next(); ok {
+			t.Fatal("exhausted SliceStream yielded an instruction")
+		}
+	}
+	inner := &countingStream{n: 10}
+	l := &Limit{S: inner, N: 2}
+	l.Next()
+	l.Next()
+	before := inner.calls
+	for i := 0; i < 3; i++ {
+		if _, ok := l.Next(); ok {
+			t.Fatal("exhausted Limit yielded an instruction")
+		}
+	}
+	if inner.calls != before {
+		t.Errorf("exhausted Limit pulled %d extra records from the inner stream",
+			inner.calls-before)
+	}
+}
+
+// TestStreamMidSequence pins that nothing in the record contract assumes
+// Seq starts at 0: a stream resuming mid-run (a restored checkpoint, a
+// sample window) carries arbitrary starting sequence numbers.
+func TestStreamMidSequence(t *testing.T) {
+	s := &SliceStream{Insts: []DynInst{{Seq: 1 << 40}, {Seq: 1<<40 + 1}}}
+	d, ok := s.Next()
+	if !ok || d.Seq != 1<<40 {
+		t.Fatalf("mid-sequence first record = %v,%v", d, ok)
+	}
+	l := &Limit{S: s, N: 1}
+	d, ok = l.Next()
+	if !ok || d.Seq != 1<<40+1 {
+		t.Fatalf("mid-sequence limited record = %v,%v", d, ok)
+	}
+}

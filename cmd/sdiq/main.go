@@ -12,6 +12,7 @@
 //	     [-config cfg.json] [-dumpconfig]
 //	     [-sweep "axis=v1,v2,...;axis=..."] [-cache DIR]
 //	     [-sample on|window/period/warmup|window=N,period=N,...]
+//	     [-remote http://host:port]
 //	     [-export FILE.json|FILE.csv] [-load FILE.json]
 //	     [-cpuprofile FILE] [-memprofile FILE]
 //
@@ -34,6 +35,14 @@
 // near-instant. -export saves the campaign (spec + results); -load
 // renders tables/figures from a saved campaign without simulating.
 //
+// -remote executes the campaign on a sdiqd campaign service instead of
+// in-process: the spec is POSTed to the server, jobs run on its shared
+// executor and cache (deduplicated against every other client's
+// in-flight jobs), progress streams back, and tables/figures/exports
+// render locally from the server's result set — byte-identical to a
+// local run. Every experiment and sweep flag combines with -remote;
+// -parallel and -cache are then server-side concerns and ignored.
+//
 // -cpuprofile and -memprofile write pprof profiles of the run (the whole
 // campaign, including the worker pool), so simulator performance work can
 // be diagnosed with `go tool pprof` without editing code.
@@ -52,6 +61,7 @@ import (
 
 	"repro/internal/campaign"
 	"repro/internal/exp"
+	"repro/internal/serve"
 )
 
 func main() {
@@ -69,6 +79,8 @@ func main() {
 	cacheDir := flag.String("cache", "", "directory for the on-disk result cache")
 	sampleFlag := flag.String("sample", "",
 		"sampled simulation: \"on\" for the default regime, \"window/period/warmup\" or \"window=N,period=N,warmup=N,detailwarmup=N\" (empty = exact)")
+	remote := flag.String("remote", "",
+		"run campaigns on a sdiqd campaign service at this base URL instead of in-process")
 	exportPath := flag.String("export", "", "write the campaign to FILE (.json or .csv)")
 	loadPath := flag.String("load", "", "load a saved campaign JSON instead of simulating")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to FILE")
@@ -85,6 +97,14 @@ func main() {
 	r.Seed = *seed
 	r.Parallel = *parallel
 	r.CacheDir = *cacheDir
+	r.Remote = *remote
+	if *remote != "" {
+		r.OnRemoteEvent = func(ev serve.Event) {
+			if ev.Type == serve.EventSubmitted {
+				fmt.Fprintf(os.Stderr, "sdiq: remote campaign %s on %s\n", ev.Campaign, *remote)
+			}
+		}
+	}
 	sampling, err := campaign.ParseSampling(*sampleFlag)
 	if err != nil {
 		fail(err)
@@ -155,8 +175,7 @@ func main() {
 			spec := r.Spec(exp.AllTechniques())
 			spec.Name = "sweep"
 			spec.Axes = axes
-			eng := &campaign.Engine{Workers: *parallel, CacheDir: *cacheDir}
-			rs, err = eng.Run(ctx, spec)
+			rs, err = r.RunCampaign(ctx, spec)
 			if err != nil {
 				fail(err)
 			}

@@ -1,0 +1,85 @@
+// Command sdiqd is the long-running campaign service: it accepts
+// campaign specifications over HTTP from any number of sdiq clients,
+// schedules their jobs on one shared bounded executor over one on-disk
+// result cache, deduplicates identical in-flight jobs fleet-wide, and
+// streams progress and exports back. See internal/serve for the API.
+//
+// Usage:
+//
+//	sdiqd [-addr :8080] [-cache DIR] [-parallel N] [-quota N]
+//	      [-drain 30s]
+//
+// -parallel bounds concurrent simulations across all campaigns (0 =
+// GOMAXPROCS); -quota caps active campaigns per client (0 = unlimited).
+// On SIGTERM/SIGINT the server drains: new submissions are refused with
+// 503, running campaigns get up to -drain to finish, then are cancelled
+// at job granularity.
+//
+//	sdiqd -addr :8080 -cache /var/cache/sdiq &
+//	sdiq -remote http://localhost:8080 -experiment fig8
+//	curl -s localhost:8080/metrics | grep sdiqd_
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	cacheDir := flag.String("cache", "", "shared on-disk result cache directory (strongly recommended)")
+	parallel := flag.Int("parallel", 0, "max concurrent simulations fleet-wide (0 = GOMAXPROCS)")
+	quota := flag.Int("quota", 0, "max active campaigns per client (0 = unlimited)")
+	drain := flag.Duration("drain", 30*time.Second, "grace period for running campaigns on shutdown")
+	flag.Parse()
+
+	log.SetPrefix("sdiqd: ")
+	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
+
+	s := serve.New(serve.Config{
+		CacheDir:       *cacheDir,
+		Workers:        *parallel,
+		QuotaPerClient: *quota,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("listening on %s (cache=%q, parallel=%d, quota=%d)",
+			*addr, *cacheDir, *parallel, *quota)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		log.Fatalf("serve: %v", err)
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills us the default way
+
+	log.Printf("draining: refusing new campaigns, waiting up to %s for running ones", *drain)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := s.Drain(drainCtx); err != nil {
+		log.Printf("drain timed out, campaigns cancelled: %v", err)
+	}
+	shutCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("http shutdown: %v", err)
+	}
+	fmt.Fprintln(os.Stderr, "sdiqd: drained, bye")
+}

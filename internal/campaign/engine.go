@@ -19,6 +19,19 @@ type Engine struct {
 	// lands (from worker goroutines, serialised by the engine). CLI
 	// drivers use it for progress reporting.
 	OnResult func(Result)
+	// OnJobStart, when non-nil, observes every job as its simulation
+	// actually begins — after a cache miss and dedup, holding the Gate
+	// slot. Serialised like OnResult.
+	OnJobStart func(Job)
+	// OnJobError, when non-nil, observes per-job failures (serialised).
+	// Cancellation-induced skips are not failures and are not reported.
+	OnJobError func(Job, error)
+	// Flight, when non-nil, deduplicates concurrent executions of
+	// identical jobs (same JobKey) across every engine sharing it.
+	Flight *Flight
+	// Gate, when non-nil, bounds concurrent simulations across every
+	// engine sharing it; cache and dedup hits bypass it.
+	Gate Gate
 }
 
 // jobQueue is one worker's share of the campaign. The owner pops from
@@ -98,59 +111,129 @@ func (e *Engine) Run(ctx context.Context, spec Spec) (*ResultSet, error) {
 	results := make([]Result, len(jobs))
 	filled := make([]bool, len(jobs))
 	var (
-		mu        sync.Mutex // guards errs, executed, cacheHits, OnResult
+		mu        sync.Mutex // guards errs, counters, callbacks
 		errs      []error
 		executed  int
 		cacheHits int
+		dedupHits int
 	)
+
+	// deliver records a finished job and fires OnResult; how selects the
+	// counter the job lands in.
+	const (
+		howExecuted = iota
+		howCached
+		howDedup
+	)
+	deliver := func(idx int, res Result, how int) {
+		mu.Lock()
+		results[idx], filled[idx] = res, true
+		switch how {
+		case howCached:
+			cacheHits++
+		case howDedup:
+			dedupHits++
+		default:
+			executed++
+		}
+		if e.OnResult != nil {
+			e.OnResult(res)
+		}
+		mu.Unlock()
+	}
 
 	runJob := func(idx int) {
 		job := &jobs[idx]
 		var key string
-		if cache != nil {
+		if cache != nil || e.Flight != nil {
 			k, err := JobKey(job, spec.Params)
 			if err == nil {
-				// Unhashable jobs still run; they just can't be cached.
+				// Unhashable jobs still run; they just can't be cached
+				// or deduplicated.
 				key = k
 			}
 		}
-		if cache != nil && key != "" {
-			if res, ok := cache.get(key); ok {
+		fromCache := func() (Result, bool) {
+			if cache == nil || key == "" {
+				return Result{}, false
+			}
+			res, ok := cache.get(key)
+			if ok {
 				// The key omits the sweep point (it is encoded in the
 				// derived config); restamp the requester's coordinates.
 				res.Point = job.Point
-				mu.Lock()
-				results[idx], filled[idx] = res, true
-				cacheHits++
-				if e.OnResult != nil {
-					e.OnResult(res)
-				}
-				mu.Unlock()
-				return
 			}
+			return res, ok
 		}
-		res, err := Execute(ctx, job)
+		if res, ok := fromCache(); ok {
+			deliver(idx, res, howCached)
+			return
+		}
+		// exec is the one path that simulates: it re-checks the cache (a
+		// concurrent identical job may have finished and written its
+		// entry between our miss and this flight turn), takes a Gate
+		// slot, runs, and persists.
+		exec := func() (Result, error) {
+			if res, ok := fromCache(); ok {
+				return res, nil
+			}
+			if e.Gate != nil {
+				if err := e.Gate.acquire(ctx); err != nil {
+					return Result{}, err
+				}
+				defer e.Gate.release()
+			}
+			if e.OnJobStart != nil {
+				mu.Lock()
+				e.OnJobStart(*job)
+				mu.Unlock()
+			}
+			res, err := Execute(ctx, job)
+			if err != nil {
+				return res, err
+			}
+			if cache != nil && key != "" {
+				// A failed write only costs the next run a re-simulation.
+				_ = cache.put(key, res)
+			}
+			return res, nil
+		}
+		var (
+			res    Result
+			shared bool
+			err    error
+		)
+		if e.Flight != nil && key != "" {
+			res, shared, err = e.Flight.Do(ctx, key, exec)
+		} else {
+			res, err = exec()
+		}
 		if err != nil {
 			if ctx.Err() != nil && errors.Is(err, ctx.Err()) {
 				return // cancelled before/while running: skipped, not failed
 			}
 			mu.Lock()
 			errs = append(errs, err)
+			if e.OnJobError != nil {
+				e.OnJobError(*job, err)
+			}
 			mu.Unlock()
 			cancel()
 			return
 		}
-		if cache != nil && key != "" {
-			// A failed write only costs the next run a re-simulation.
-			_ = cache.put(key, res)
+		how := howExecuted
+		switch {
+		case shared:
+			// Another caller's execution (possibly of a job with a
+			// different sweep point but identical derived config):
+			// restamp our coordinates, as for a cache hit.
+			res.Point = job.Point
+			res.Dedup = true
+			how = howDedup
+		case res.Cached:
+			how = howCached
 		}
-		mu.Lock()
-		results[idx], filled[idx] = res, true
-		executed++
-		if e.OnResult != nil {
-			e.OnResult(res)
-		}
-		mu.Unlock()
+		deliver(idx, res, how)
 	}
 
 	var wg sync.WaitGroup
@@ -172,7 +255,7 @@ func (e *Engine) Run(ctx context.Context, spec Spec) (*ResultSet, error) {
 	}
 	wg.Wait()
 
-	rs.Executed, rs.CacheHits = executed, cacheHits
+	rs.Executed, rs.CacheHits, rs.DedupHits = executed, cacheHits, dedupHits
 	rs.Results = make([]Result, 0, len(jobs))
 	for i := range results {
 		if filled[i] {

@@ -30,10 +30,20 @@ type Result struct {
 	// Stats then holds the population-extrapolated totals and Sampled the
 	// error bars. Nil for exact runs, and omitted from their JSON.
 	Sampled *SampledMeta `json:"sampled,omitempty"`
-	// Cached marks a result served from the on-disk cache. It is not
-	// serialised: a cache hit must export byte-identically to the run
-	// that populated it.
+	// StartedAt and FinishedAt bracket the job's execution (preparation
+	// through simulation), stamped by Execute. Like CompileMS/GenMS they
+	// are wall-clock metadata, not part of the result's identity: cache
+	// keys ignore them, and a cached result carries the stamps of the
+	// run that populated it. The CSV export omits them, so exact-mode
+	// CSV output is byte-stable across their introduction.
+	StartedAt  time.Time `json:"started_at,omitzero"`
+	FinishedAt time.Time `json:"finished_at,omitzero"`
+	// Cached marks a result served from the on-disk cache, Dedup one
+	// shared from a concurrent identical execution (Engine.Flight).
+	// Neither is serialised: a cache or dedup hit must export
+	// byte-identically to the run that populated it.
 	Cached bool `json:"-"`
+	Dedup  bool `json:"-"`
 }
 
 // SampledMeta summarises a sampled run for results and exports. All
@@ -99,10 +109,17 @@ func Prepare(job *Job) (*prog.Program, Result, error) {
 // Execute runs one job to completion: prepare, simulate (exact or
 // sampled, by job.Sampling), collect stats. The simulator polls ctx
 // mid-run, so cancellation takes effect mid-job, not just between jobs.
-func Execute(ctx context.Context, job *Job) (Result, error) {
+// The result's StartedAt/FinishedAt bracket the whole execution (UTC,
+// monotonic-free so they JSON-roundtrip exactly).
+func Execute(ctx context.Context, job *Job) (res Result, err error) {
 	if err := ctx.Err(); err != nil {
 		return Result{Bench: job.Bench, Tech: job.Tech, Point: job.Point}, err
 	}
+	started := time.Now().UTC()
+	defer func() {
+		res.StartedAt = started
+		res.FinishedAt = time.Now().UTC()
+	}()
 	p, res, err := Prepare(job)
 	if err != nil {
 		return res, err

@@ -16,9 +16,11 @@ type ResultSet struct {
 	Results []Result `json:"results"`
 
 	// Executed counts jobs actually simulated, CacheHits jobs served
-	// from the on-disk cache, Skipped jobs abandoned after cancellation.
+	// from the on-disk cache, DedupHits jobs shared from a concurrent
+	// identical execution, Skipped jobs abandoned after cancellation.
 	Executed  int `json:"-"`
 	CacheHits int `json:"-"`
+	DedupHits int `json:"-"`
 	Skipped   int `json:"-"`
 
 	index map[string]int

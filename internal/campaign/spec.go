@@ -224,18 +224,18 @@ func (j *Job) ID() string {
 // axisSetters maps axis names to configuration fields. Names are
 // lower-case dotted paths mirroring the sim.Config structure.
 var axisSetters = map[string]func(*sim.Config, int){
-	"iq.entries":      func(c *sim.Config, v int) { c.IQ.Entries = v },
-	"iq.banksize":     func(c *sim.Config, v int) { c.IQ.BankSize = v },
-	"intrf.regs":      func(c *sim.Config, v int) { c.IntRF.Regs = v },
-	"intrf.banksize":  func(c *sim.Config, v int) { c.IntRF.BankSize = v },
-	"fetchwidth":      func(c *sim.Config, v int) { c.FetchWidth = v },
-	"dispatchwidth":   func(c *sim.Config, v int) { c.DispatchWidth = v },
-	"issuewidth":      func(c *sim.Config, v int) { c.IssueWidth = v },
-	"commitwidth":     func(c *sim.Config, v int) { c.CommitWidth = v },
-	"robsize":         func(c *sim.Config, v int) { c.ROBSize = v },
-	"lsqsize":         func(c *sim.Config, v int) { c.LSQSize = v },
-	"fetchqueuesize":  func(c *sim.Config, v int) { c.FetchQueueSize = v },
-	"memports":        func(c *sim.Config, v int) { c.MemPorts = v },
+	"iq.entries":     func(c *sim.Config, v int) { c.IQ.Entries = v },
+	"iq.banksize":    func(c *sim.Config, v int) { c.IQ.BankSize = v },
+	"intrf.regs":     func(c *sim.Config, v int) { c.IntRF.Regs = v },
+	"intrf.banksize": func(c *sim.Config, v int) { c.IntRF.BankSize = v },
+	"fetchwidth":     func(c *sim.Config, v int) { c.FetchWidth = v },
+	"dispatchwidth":  func(c *sim.Config, v int) { c.DispatchWidth = v },
+	"issuewidth":     func(c *sim.Config, v int) { c.IssueWidth = v },
+	"commitwidth":    func(c *sim.Config, v int) { c.CommitWidth = v },
+	"robsize":        func(c *sim.Config, v int) { c.ROBSize = v },
+	"lsqsize":        func(c *sim.Config, v int) { c.LSQSize = v },
+	"fetchqueuesize": func(c *sim.Config, v int) { c.FetchQueueSize = v },
+	"memports":       func(c *sim.Config, v int) { c.MemPorts = v },
 }
 
 // AxisNames lists the sweepable configuration axes, sorted.

@@ -1,0 +1,105 @@
+package campaign
+
+import (
+	"context"
+	"sync"
+	"testing"
+)
+
+// TestTrackerLifecycle drives a real campaign through a Tracker and
+// checks the snapshot arithmetic and per-job terminal states.
+func TestTrackerLifecycle(t *testing.T) {
+	spec := smallSpec()
+	jobs, err := spec.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewTracker(jobs)
+
+	before := tr.Snapshot()
+	if before.Total != 4 || before.Pending != 4 || len(before.Jobs) != 4 {
+		t.Fatalf("initial snapshot off: %+v", before)
+	}
+
+	var mu sync.Mutex
+	var changes []JobState
+	tr.OnChange = func(js JobStatus) {
+		mu.Lock()
+		changes = append(changes, js.State)
+		mu.Unlock()
+	}
+
+	e := &Engine{Workers: 2}
+	tr.Attach(e)
+	if _, err := e.Run(context.Background(), spec); err != nil {
+		t.Fatal(err)
+	}
+	tr.FinishSkipped()
+
+	after := tr.Snapshot()
+	if after.Done != 4 || after.Pending != 0 || after.Running != 0 || after.Skipped != 0 {
+		t.Errorf("final snapshot off: %+v", after)
+	}
+	if after.Executed != 4 || after.CacheHits != 0 || after.DedupHits != 0 {
+		t.Errorf("hit accounting off: %+v", after)
+	}
+	if after.CommittedInsts < 4*spec.Budget {
+		t.Errorf("committed insts %d below 4 budgets", after.CommittedInsts)
+	}
+	for _, js := range after.Jobs {
+		if js.State != JobDone {
+			t.Errorf("job %s state %s, want done", js.ID, js.State)
+		}
+		if js.StartedAt.IsZero() || js.FinishedAt.IsZero() {
+			t.Errorf("job %s missing timestamps", js.ID)
+		}
+		if js.IPC <= 0 {
+			t.Errorf("job %s IPC %f", js.ID, js.IPC)
+		}
+	}
+	// Every job emits running then done: 8 transitions in total.
+	mu.Lock()
+	defer mu.Unlock()
+	if len(changes) != 8 {
+		t.Errorf("saw %d transitions, want 8 (%v)", len(changes), changes)
+	}
+}
+
+// TestTrackerFailuresAndSkips: a failing job must land failed with its
+// error, and jobs the cancellation abandoned must end skipped, not
+// pending.
+func TestTrackerFailuresAndSkips(t *testing.T) {
+	spec := smallSpec()
+	spec.Benchmarks = []string{"nosuchbench", "gzip"}
+	jobs, err := spec.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewTracker(jobs)
+	e := &Engine{Workers: 1}
+	tr.Attach(e)
+	if _, err := e.Run(context.Background(), spec); err == nil {
+		t.Fatal("campaign with bad benchmark succeeded")
+	}
+	tr.FinishSkipped()
+
+	st := tr.Snapshot()
+	if st.Failed == 0 {
+		t.Error("no job marked failed")
+	}
+	if st.Pending != 0 || st.Running != 0 {
+		t.Errorf("abandoned jobs left pending/running: %+v", st)
+	}
+	if st.Failed+st.Done+st.Skipped != st.Total {
+		t.Errorf("states do not partition the campaign: %+v", st)
+	}
+	var sawError bool
+	for _, js := range st.Jobs {
+		if js.State == JobFailed && js.Error != "" {
+			sawError = true
+		}
+	}
+	if !sawError {
+		t.Error("failed job carries no error text")
+	}
+}

@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/campaign"
 	"repro/internal/power"
+	"repro/internal/serve"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -101,6 +102,16 @@ type Runner struct {
 	// Sampling runs the suite through the sampled-simulation engine
 	// (nil = exact). Results then carry error bars; see SamplingReport.
 	Sampling *campaign.Sampling
+	// Remote, when non-empty, executes campaigns on a sdiqd campaign
+	// service at this base URL instead of the local engine: every
+	// experiment and sweep transparently becomes a POST + event stream +
+	// export fetch, sharing the server's cache and in-flight dedup with
+	// every other client. Parallel and CacheDir then configure nothing
+	// (the server owns both).
+	Remote string
+	// OnRemoteEvent, when non-nil, observes the remote event stream
+	// (progress reporting for CLI drivers).
+	OnRemoteEvent func(serve.Event)
 }
 
 // NewRunner returns a runner with the paper's configuration.
@@ -135,6 +146,19 @@ func (r *Runner) Spec(techs []Technique) campaign.Spec {
 // engine builds the campaign engine for this runner.
 func (r *Runner) engine() *campaign.Engine {
 	return &campaign.Engine{Workers: r.Parallel, CacheDir: r.CacheDir}
+}
+
+// RunCampaign executes an arbitrary campaign spec the way this runner
+// is configured: on the local engine, or — with Remote set — on a
+// campaign service, returning the server's result set. This is the one
+// execution path of every CLI experiment and sweep.
+func (r *Runner) RunCampaign(ctx context.Context, spec campaign.Spec) (*campaign.ResultSet, error) {
+	if r.Remote != "" {
+		cl := serve.NewClient(r.Remote)
+		cl.OnEvent = r.OnRemoteEvent
+		return cl.Run(ctx, spec)
+	}
+	return r.engine().Run(ctx, spec)
 }
 
 // Run executes one benchmark under one technique.
@@ -185,7 +209,7 @@ func (r *Runner) RunSuite(techs []Technique) (*SuiteResults, error) {
 // the rest of the grid and the joined error of every failure observed is
 // returned.
 func (r *Runner) RunSuiteContext(ctx context.Context, techs []Technique) (*SuiteResults, error) {
-	rs, err := r.engine().Run(ctx, r.Spec(techs))
+	rs, err := r.RunCampaign(ctx, r.Spec(techs))
 	if err != nil {
 		return nil, err
 	}

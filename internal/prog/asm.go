@@ -131,6 +131,12 @@ func formatInst(p *Program, pr *Proc, in *Inst, labels []string) string {
 
 var labelRE = regexp.MustCompile(`^([.\w$]+):$`)
 
+// MaxDataWords bounds a parsed program's data segment (32 MiB of
+// words). Generated programs sit far below it; it exists so a hostile
+// or corrupt "datazero N" line cannot allocate unbounded memory during
+// parsing (found by fuzzing).
+const MaxDataWords = 1 << 22
+
 // ParseAsm parses an sdasm program.
 func ParseAsm(r io.Reader) (*Program, error) {
 	sc := bufio.NewScanner(r)
@@ -162,6 +168,9 @@ func ParseAsm(r io.Reader) (*Program, error) {
 			}
 			name = fields[1]
 		case "database":
+			if len(fields) != 2 {
+				return fail("database needs an address")
+			}
 			v, err := strconv.ParseUint(fields[1], 10, 64)
 			if err != nil {
 				return fail("bad database: %v", err)
@@ -175,10 +184,19 @@ func ParseAsm(r io.Reader) (*Program, error) {
 				}
 				data = append(data, v)
 			}
+			if len(data) > MaxDataWords {
+				return fail("data segment exceeds %d words", MaxDataWords)
+			}
 		case "datazero":
+			if len(fields) != 2 {
+				return fail("datazero needs a count")
+			}
 			n, err := strconv.Atoi(fields[1])
 			if err != nil || n < 0 {
 				return fail("bad datazero count %q", fields[1])
+			}
+			if n > MaxDataWords-len(data) { // overflow-safe form of len(data)+n > max
+				return fail("data segment exceeds %d words", MaxDataWords)
 			}
 			data = append(data, make([]int64, n)...)
 		case "proc":

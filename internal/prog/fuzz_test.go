@@ -1,0 +1,192 @@
+// Differential fuzzing of the sdasm toolchain: any text the parser
+// accepts must survive the whole pipeline the real tools run — print
+// and reparse (sdiqgen | sdiqc), instrument (sdiqc), and execute — and
+// the detailed out-of-order core must retire exactly the dynamic
+// instruction stream the architectural emulator produces. The oracle
+// needs no golden files: the emulator is the reference.
+//
+// Run locally with:
+//
+//	go test ./internal/prog -fuzz FuzzAsmDifferential -fuzztime 30s
+//
+// CI runs a 10-second smoke on every push; the committed seed corpus
+// under testdata/fuzz/ keeps the interesting shapes (loops, calls,
+// hints, data) in play from the first input.
+package prog_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/prog"
+	"repro/internal/sim"
+)
+
+// fuzz caps: bound one input's work so the fuzzer spends its time on
+// coverage, not on a single giant program.
+const (
+	fuzzMaxSrc   = 1 << 16 // input text bytes
+	fuzzMaxInsts = 2_000   // static instructions
+	fuzzMaxData  = 1 << 14 // data words
+	fuzzTraceCap = 4_000   // dynamic records examined per program
+)
+
+func FuzzAsmDifferential(f *testing.F) {
+	f.Add(`program tiny
+proc main entry
+  li r1, 5
+  add r2, r1, r1
+  halt
+endproc
+`)
+	f.Add(`program loop
+data 1 2 3 4 5 6 7 8
+datazero 8
+proc main entry
+  li r1, 0
+  li r2, 8
+.L:
+  ld r3, 0(r1)
+  add r4, r4, r3
+  st r4, 64(r1)
+  addi r1, r1, 8
+  blt r1, r2, .L
+  halt
+endproc
+`)
+	f.Add(`program calls
+proc helper lib
+  mul r5, r5, r5
+  ret
+endproc
+proc main entry
+  hint 12
+  li r5, 3
+  call helper
+  calllib helper
+  add r6, r5, r5 !iq=7
+  jmp .done
+.done:
+  halt
+endproc
+`)
+	f.Add(`program spin
+proc main entry
+  li r1, 1
+.top:
+  addi r2, r2, 1
+  bne r2, r1, .top
+  halt
+endproc
+`)
+
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > fuzzMaxSrc {
+			return
+		}
+		p, err := prog.ParseAsm(strings.NewReader(src))
+		if err != nil {
+			return // rejecting bad input cleanly is the contract
+		}
+		if p.NumInsts() == 0 || p.NumInsts() > fuzzMaxInsts || len(p.Data) > fuzzMaxData {
+			return
+		}
+
+		// Print → reparse: the writer must emit text the parser takes
+		// back, for any program the parser accepted in the first place.
+		var buf bytes.Buffer
+		if err := prog.WriteAsm(&buf, p); err != nil {
+			t.Fatalf("WriteAsm failed on parsed program: %v\ninput:\n%s", err, src)
+		}
+		p2, err := prog.ParseAsm(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("reparse of printed program failed: %v\nprinted:\n%s\ninput:\n%s",
+				err, buf.String(), src)
+		}
+
+		// The raw program and an sdiqc-instrumented copy must both
+		// retire identically on emulator and core.
+		diffRetirement(t, p, "raw")
+		if _, err := core.Instrument(p2, core.Options{Mode: core.ModeNOOP}); err == nil {
+			diffRetirement(t, p2, "instrumented")
+		}
+	})
+}
+
+// diffRetirement runs p on the architectural emulator and on the
+// detailed core and requires identical retirement: same committed real
+// instruction count, same hint-NOP count — for halting programs over
+// the whole run, for non-halting ones over a fixed budget.
+func diffRetirement(t *testing.T, p *prog.Program, label string) {
+	t.Helper()
+	e, err := emu.New(p)
+	if err != nil {
+		return // e.g. unlinked after a failed transform; nothing to compare
+	}
+	var realN, hintN, total int64
+	halted := false
+	for total < fuzzTraceCap {
+		d, ok := e.Next()
+		if !ok {
+			halted = true
+			break
+		}
+		total++
+		if d.Op == isa.HintNop {
+			hintN++
+		} else {
+			realN++
+		}
+	}
+
+	// A generous hang ceiling: no legal program averages 400 cycles per
+	// instruction on the default machine (worst chains of memory misses
+	// sit far below), so hitting it means the core stopped retiring.
+	hangCycles := total*400 + 100_000
+
+	cfg := sim.DefaultConfig()
+	if halted {
+		cfg.MaxCycles = hangCycles
+		st, err := sim.RunProgram(cfg, p, 0)
+		if err != nil {
+			t.Fatalf("%s: core failed on emulatable program: %v", label, err)
+		}
+		if st.Cycles >= hangCycles {
+			t.Fatalf("%s: core hung: %d cycles without finishing %d-inst program",
+				label, st.Cycles, total)
+		}
+		if st.CommittedReal != realN || st.CommittedHints != hintN {
+			t.Fatalf("%s: retirement diverges: core %d real + %d hints, emulator %d real + %d hints",
+				label, st.CommittedReal, st.CommittedHints, realN, hintN)
+		}
+		return
+	}
+
+	// Non-halting program: fixed real-instruction budget; the core must
+	// commit exactly the budget unless it hit the cycle ceiling (which
+	// the emulator-side count makes impossible for sane programs).
+	if realN == 0 {
+		return // nothing but hint NOOPs forever; no budget can close it
+	}
+	budget := realN / 2
+	if budget == 0 {
+		budget = 1
+	}
+	cfg.MaxCycles = hangCycles
+	st, err := sim.RunProgram(cfg, p, budget)
+	if err != nil {
+		t.Fatalf("%s: core failed on emulatable program: %v", label, err)
+	}
+	if st.Cycles >= hangCycles {
+		t.Fatalf("%s: core hung at budget %d: %d cycles, %d committed",
+			label, budget, st.Cycles, st.CommittedReal)
+	}
+	if st.CommittedReal != budget {
+		t.Fatalf("%s: budgeted run committed %d real instructions, want exactly %d",
+			label, st.CommittedReal, budget)
+	}
+}

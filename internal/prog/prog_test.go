@@ -260,6 +260,14 @@ func TestAsmErrors(t *testing.T) {
 		"li r1, 5",
 		"proc main entry\n  ld r1, r2\nendproc",
 		"proc main weird\n  halt\nendproc",
+		// Parser hardening (fuzz findings): bare directives and data
+		// segments that would overflow or exhaust memory must error,
+		// not panic. The MaxInt64 datazero exercises the overflow-safe
+		// form of the size check.
+		"database\nproc main entry\n  halt\nendproc",
+		"datazero\nproc main entry\n  halt\nendproc",
+		"datazero 4194305\nproc main entry\n  halt\nendproc",
+		"data 1\ndatazero 9223372036854775807\nproc main entry\n  halt\nendproc",
 	}
 	for _, src := range cases {
 		if _, err := ParseAsm(strings.NewReader(src)); err == nil {

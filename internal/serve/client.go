@@ -1,0 +1,196 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/campaign"
+)
+
+// Client talks to a campaign service. It is what `sdiq -remote` uses:
+// submit the spec, follow the event stream, fetch the finished export.
+type Client struct {
+	// Base is the server root, e.g. "http://localhost:8080".
+	Base string
+	// HTTP is the transport; nil means http.DefaultClient.
+	HTTP *http.Client
+	// ID identifies this client for the server's per-client quotas
+	// (sent as X-Sdiq-Client when non-empty).
+	ID string
+	// OnEvent, when non-nil, observes every event Run receives — the
+	// hook CLI progress output hangs off.
+	OnEvent func(Event)
+}
+
+// NewClient returns a client for the server at base.
+func NewClient(base string) *Client {
+	return &Client{Base: strings.TrimRight(base, "/")}
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) do(ctx context.Context, method, path string, body io.Reader) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, method, c.Base+path, body)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if c.ID != "" {
+		req.Header.Set("X-Sdiq-Client", c.ID)
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("serve: %s %s: %w", method, path, err)
+	}
+	if resp.StatusCode >= 400 {
+		defer resp.Body.Close()
+		var apiErr apiError
+		if json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&apiErr) == nil && apiErr.Error != "" {
+			return nil, fmt.Errorf("serve: %s %s: %s (%s)", method, path, apiErr.Error, resp.Status)
+		}
+		return nil, fmt.Errorf("serve: %s %s: %s", method, path, resp.Status)
+	}
+	return resp, nil
+}
+
+// Submit posts a campaign spec and returns the server's handle.
+func (c *Client) Submit(ctx context.Context, spec campaign.Spec) (Submitted, error) {
+	blob, err := json.Marshal(spec)
+	if err != nil {
+		return Submitted{}, fmt.Errorf("serve: encoding spec: %w", err)
+	}
+	resp, err := c.do(ctx, http.MethodPost, "/v1/campaigns", bytes.NewReader(blob))
+	if err != nil {
+		return Submitted{}, err
+	}
+	defer resp.Body.Close()
+	var sub Submitted
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		return Submitted{}, fmt.Errorf("serve: decoding submission: %w", err)
+	}
+	return sub, nil
+}
+
+// Status fetches a campaign's snapshot.
+func (c *Client) Status(ctx context.Context, id string) (CampaignInfo, error) {
+	resp, err := c.do(ctx, http.MethodGet, "/v1/campaigns/"+id, nil)
+	if err != nil {
+		return CampaignInfo{}, err
+	}
+	defer resp.Body.Close()
+	var info CampaignInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		return CampaignInfo{}, fmt.Errorf("serve: decoding status: %w", err)
+	}
+	return info, nil
+}
+
+// Stream follows a campaign's NDJSON event stream from the beginning,
+// calling fn for every event until the stream ends (the campaign is
+// done) or fn returns an error.
+func (c *Client) Stream(ctx context.Context, id string, fn func(Event) error) error {
+	resp, err := c.do(ctx, http.MethodGet, "/v1/campaigns/"+id+"/events", nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return fmt.Errorf("serve: bad event %q: %w", line, err)
+		}
+		if err := fn(ev); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}
+
+// Export fetches a finished campaign's export in the given format
+// ("csv" or "json") — the bytes the CLI's local -export would write.
+func (c *Client) Export(ctx context.Context, id, format string) ([]byte, error) {
+	resp, err := c.do(ctx, http.MethodGet, "/v1/campaigns/"+id+"/export?format="+format, nil)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	return io.ReadAll(resp.Body)
+}
+
+// ResultSet fetches and decodes a finished campaign.
+func (c *Client) ResultSet(ctx context.Context, id string) (*campaign.ResultSet, error) {
+	resp, err := c.do(ctx, http.MethodGet, "/v1/campaigns/"+id+"/export?format=json", nil)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	return campaign.ReadJSON(resp.Body)
+}
+
+// Run is the remote analogue of Engine.Run: submit the spec, follow its
+// progress (relaying to OnEvent), and return the finished ResultSet. A
+// broken event stream degrades to polling; a failed campaign returns
+// its server-side error.
+func (c *Client) Run(ctx context.Context, spec campaign.Spec) (*campaign.ResultSet, error) {
+	sub, err := c.Submit(ctx, spec)
+	if err != nil {
+		return nil, err
+	}
+	var done *Event
+	// The stream's transport error is deliberately dropped once the
+	// done event is in hand: the outcome is known, and the export fetch
+	// below stands on its own connection.
+	_ = c.Stream(ctx, sub.ID, func(ev Event) error {
+		if c.OnEvent != nil {
+			c.OnEvent(ev)
+		}
+		if ev.Type == EventDone {
+			ev := ev
+			done = &ev
+		}
+		return nil
+	})
+	if done == nil {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		// The stream broke mid-campaign; fall back to polling status.
+		var info CampaignInfo
+		for !info.Done {
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-time.After(200 * time.Millisecond):
+			}
+			if info, err = c.Status(ctx, sub.ID); err != nil {
+				return nil, err
+			}
+		}
+		if info.Error != "" {
+			return nil, fmt.Errorf("%w: %s", errCampaignFailed, info.Error)
+		}
+	} else if done.Error != "" {
+		return nil, fmt.Errorf("%w: %s", errCampaignFailed, done.Error)
+	}
+	return c.ResultSet(ctx, sub.ID)
+}

@@ -1,0 +1,137 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/campaign"
+)
+
+// Event is one progress record of a campaign: its submission, every job
+// state transition, and its completion. Events are totally ordered per
+// campaign (Seq starts at 0) and are replayed from the beginning to
+// every stream subscriber, so a client that connects late still sees
+// the whole history.
+type Event struct {
+	Seq      int       `json:"seq"`
+	Time     time.Time `json:"time"`
+	Type     string    `json:"type"` // "submitted", "job", "done"
+	Campaign string    `json:"campaign"`
+	// Job carries the transition for "job" events.
+	Job *campaign.JobStatus `json:"job,omitempty"`
+	// Status summarises progress (without the per-job list).
+	Status *campaign.Status `json:"status,omitempty"`
+	// Error is set on "done" events of failed campaigns.
+	Error string `json:"error,omitempty"`
+}
+
+// Event types.
+const (
+	EventSubmitted = "submitted"
+	EventJob       = "job"
+	EventDone      = "done"
+)
+
+// hub is a per-campaign append-only event log with broadcast: publish
+// appends and wakes every waiting subscriber; subscribers read the log
+// by index so no event is ever dropped or reordered.
+type hub struct {
+	mu     sync.Mutex
+	events []Event
+	closed bool
+	wake   chan struct{} // closed and replaced on every publish/close
+}
+
+func newHub() *hub {
+	return &hub{wake: make(chan struct{})}
+}
+
+// publish stamps and appends ev. Publishing after close is a no-op (the
+// campaign is over; late stragglers have nothing to say).
+func (h *hub) publish(ev Event) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	ev.Seq = len(h.events)
+	ev.Time = time.Now().UTC()
+	h.events = append(h.events, ev)
+	close(h.wake)
+	h.wake = make(chan struct{})
+}
+
+// close marks the log complete and wakes all subscribers one last time.
+func (h *hub) close() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.closed = true
+	close(h.wake)
+	h.wake = make(chan struct{})
+}
+
+// since returns the events at index >= from, whether the log is
+// complete, and a channel that signals the next change.
+func (h *hub) since(from int) ([]Event, bool, <-chan struct{}) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var evs []Event
+	if from < len(h.events) {
+		evs = h.events[from:len(h.events):len(h.events)]
+	}
+	return evs, h.closed, h.wake
+}
+
+// streamEvents writes a campaign's event log to w as it grows — NDJSON
+// (one JSON event per line) by default, server-sent events when the
+// client asks via Accept: text/event-stream or ?format=sse — returning
+// when the campaign completes or the client goes away.
+func streamEvents(w http.ResponseWriter, r *http.Request, h *hub) {
+	sse := r.URL.Query().Get("format") == "sse" ||
+		r.Header.Get("Accept") == "text/event-stream"
+	if sse {
+		w.Header().Set("Content-Type", "text/event-stream")
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+
+	next := 0
+	for {
+		evs, closed, wake := h.since(next)
+		for _, ev := range evs {
+			blob, err := json.Marshal(ev)
+			if err != nil {
+				return
+			}
+			if sse {
+				fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, blob)
+			} else {
+				fmt.Fprintf(w, "%s\n", blob)
+			}
+		}
+		next += len(evs)
+		if flusher != nil && len(evs) > 0 {
+			flusher.Flush()
+		}
+		if closed && len(evs) == 0 {
+			return
+		}
+		if closed {
+			continue // drain whatever landed between since() calls
+		}
+		select {
+		case <-wake:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

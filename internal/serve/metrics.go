@@ -1,0 +1,66 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// metrics are the service's fleet-wide counters, exposed in Prometheus
+// text exposition format at /metrics. All counters are monotonic over
+// the process lifetime.
+type metrics struct {
+	start time.Time
+
+	campaignsSubmitted atomic.Int64
+	campaignsDone      atomic.Int64
+	campaignsFailed    atomic.Int64
+	campaignsActive    atomic.Int64
+	campaignsRejected  atomic.Int64 // quota / drain refusals
+
+	jobsExecuted atomic.Int64
+	jobsFailed   atomic.Int64
+	cacheHits    atomic.Int64
+	dedupHits    atomic.Int64
+
+	instsCommitted atomic.Int64 // committed real instructions simulated
+	simNanos       atomic.Int64 // wall nanoseconds spent inside simulations
+}
+
+// instsPerSecond is the service's aggregate simulation rate: committed
+// real instructions per wall-clock second spent actually simulating
+// (not per uptime second, which would dilute idle servers to zero).
+func (m *metrics) instsPerSecond() float64 {
+	ns := m.simNanos.Load()
+	if ns <= 0 {
+		return 0
+	}
+	return float64(m.instsCommitted.Load()) / (float64(ns) / float64(time.Second))
+}
+
+// handleMetrics renders the Prometheus text format.
+func (m *metrics) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	type row struct {
+		name, help, typ string
+		value           float64
+	}
+	rows := []row{
+		{"sdiqd_uptime_seconds", "Seconds since the server started.", "gauge", time.Since(m.start).Seconds()},
+		{"sdiqd_campaigns_submitted_total", "Campaigns accepted for execution.", "counter", float64(m.campaignsSubmitted.Load())},
+		{"sdiqd_campaigns_done_total", "Campaigns that completed successfully.", "counter", float64(m.campaignsDone.Load())},
+		{"sdiqd_campaigns_failed_total", "Campaigns that finished with an error.", "counter", float64(m.campaignsFailed.Load())},
+		{"sdiqd_campaigns_rejected_total", "Submissions refused (quota or drain).", "counter", float64(m.campaignsRejected.Load())},
+		{"sdiqd_campaigns_active", "Campaigns currently running.", "gauge", float64(m.campaignsActive.Load())},
+		{"sdiqd_jobs_executed_total", "Jobs actually simulated (cache and dedup hits excluded).", "counter", float64(m.jobsExecuted.Load())},
+		{"sdiqd_jobs_failed_total", "Jobs that finished with an error.", "counter", float64(m.jobsFailed.Load())},
+		{"sdiqd_job_cache_hits_total", "Jobs served from the on-disk result cache.", "counter", float64(m.cacheHits.Load())},
+		{"sdiqd_job_dedup_hits_total", "Jobs shared from a concurrent identical execution.", "counter", float64(m.dedupHits.Load())},
+		{"sdiqd_insts_committed_total", "Committed real instructions simulated.", "counter", float64(m.instsCommitted.Load())},
+		{"sdiqd_insts_per_second", "Aggregate simulation rate over wall time spent simulating.", "gauge", m.instsPerSecond()},
+	}
+	for _, r := range rows {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %g\n", r.name, r.help, r.name, r.typ, r.name, r.value)
+	}
+}

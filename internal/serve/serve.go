@@ -1,0 +1,437 @@
+// Package serve is the campaign service: a long-running HTTP/JSON
+// server (cmd/sdiqd) that accepts campaign.Spec submissions from many
+// clients, expands and schedules their jobs on one shared bounded
+// executor backed by a single on-disk result cache, deduplicates
+// identical in-flight jobs fleet-wide (singleflight on the job content
+// hash), streams per-job progress as NDJSON or server-sent events, and
+// serves finished campaigns through the exact JSON/CSV exporters the
+// CLI uses locally — so a server-side export is byte-identical to the
+// same spec run with `sdiq -export`.
+//
+// API (all JSON):
+//
+//	POST /v1/campaigns               submit a campaign.Spec → 202 {id,...}
+//	GET  /v1/campaigns               list campaigns
+//	GET  /v1/campaigns/{id}          status snapshot with per-job detail
+//	GET  /v1/campaigns/{id}/events   NDJSON stream (?format=sse for SSE)
+//	GET  /v1/campaigns/{id}/export   finished ResultSet (?format=csv|json)
+//	GET  /metrics                    Prometheus text metrics
+//	GET  /healthz                    liveness
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/campaign"
+)
+
+// Config parameterises a Server.
+type Config struct {
+	// CacheDir is the shared on-disk result cache ("" disables caching,
+	// which also disables cross-campaign result reuse — set it).
+	CacheDir string
+	// Workers bounds concurrent simulations fleet-wide (the shared
+	// executor); 0 means GOMAXPROCS.
+	Workers int
+	// QuotaPerClient caps campaigns a single client may have active at
+	// once; 0 means unlimited.
+	QuotaPerClient int
+}
+
+// Server owns the campaign registry, the shared executor gate, the
+// fleet-wide dedup group and the metrics. Create with New, expose with
+// Handler, stop with Drain.
+type Server struct {
+	cfg    Config
+	gate   campaign.Gate
+	flight *campaign.Flight
+	met    metrics
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu        sync.Mutex
+	draining  bool // guarded by mu so no submission can slip past Drain
+	seq       int
+	campaigns map[string]*campaignRun
+	order     []string
+	active    map[string]int // running campaigns per client
+}
+
+// campaignRun is one submitted campaign's full lifecycle state.
+type campaignRun struct {
+	id        string
+	client    string
+	spec      campaign.Spec
+	jobs      int
+	submitted time.Time
+	tracker   *campaign.Tracker
+	hub       *hub
+
+	mu       sync.Mutex
+	done     bool
+	finished time.Time
+	rs       *campaign.ResultSet
+	err      error
+}
+
+func (rc *campaignRun) finish(rs *campaign.ResultSet, err error) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	rc.done, rc.finished, rc.rs, rc.err = true, time.Now().UTC(), rs, err
+}
+
+func (rc *campaignRun) state() (done bool, finished time.Time, rs *campaign.ResultSet, err error) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.done, rc.finished, rc.rs, rc.err
+}
+
+// New returns a ready Server; callers then serve s.Handler().
+func New(cfg Config) *Server {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Server{
+		cfg:       cfg,
+		gate:      campaign.NewGate(workers),
+		flight:    &campaign.Flight{},
+		met:       metrics{start: time.Now()},
+		ctx:       ctx,
+		cancel:    cancel,
+		campaigns: make(map[string]*campaignRun),
+		active:    make(map[string]int),
+	}
+}
+
+// Handler returns the service's HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/campaigns", s.handleSubmit)
+	mux.HandleFunc("GET /v1/campaigns", s.handleList)
+	mux.HandleFunc("GET /v1/campaigns/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/campaigns/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/campaigns/{id}/export", s.handleExport)
+	mux.HandleFunc("GET /metrics", s.met.handleMetrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// Drain stops accepting submissions and waits for running campaigns.
+// If ctx ends first the remaining campaigns are cancelled (they stop at
+// job granularity) and ctx's error is returned. Drain is what SIGTERM
+// triggers in cmd/sdiqd. The draining flag flips under the same lock
+// handleSubmit registers under, so every accepted campaign is
+// guaranteed to be inside the wait group before Drain starts waiting.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.cancel()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Close cancels every running campaign immediately.
+func (s *Server) Close() { s.cancel() }
+
+// clientID identifies the submitting client for quota accounting: the
+// X-Sdiq-Client header when present, else the remote host.
+func clientID(r *http.Request) string {
+	if id := r.Header.Get("X-Sdiq-Client"); id != "" {
+		return id
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// apiError is the uniform error body.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// Submitted is the POST /v1/campaigns response.
+type Submitted struct {
+	ID   string `json:"id"`
+	Jobs int    `json:"jobs"`
+	// Convenience URLs, relative to the server root.
+	StatusURL string `json:"status_url"`
+	EventsURL string `json:"events_url"`
+	ExportURL string `json:"export_url"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec campaign.Spec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "bad spec: %v", err)
+		return
+	}
+	jobs, err := spec.Jobs()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad spec: %v", err)
+		return
+	}
+	if len(jobs) == 0 {
+		writeError(w, http.StatusBadRequest, "spec expands to no jobs")
+		return
+	}
+
+	client := clientID(r)
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.met.campaignsRejected.Add(1)
+		w.Header().Set("Retry-After", "10")
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	if q := s.cfg.QuotaPerClient; q > 0 && s.active[client] >= q {
+		s.mu.Unlock()
+		s.met.campaignsRejected.Add(1)
+		w.Header().Set("Retry-After", "5")
+		writeError(w, http.StatusTooManyRequests,
+			"client %q already has %d active campaigns (quota %d)", client, q, q)
+		return
+	}
+	s.seq++
+	id := fmt.Sprintf("c%04d", s.seq)
+	rc := &campaignRun{
+		id:        id,
+		client:    client,
+		spec:      spec,
+		jobs:      len(jobs),
+		submitted: time.Now().UTC(),
+		tracker:   campaign.NewTracker(jobs),
+		hub:       newHub(),
+	}
+	s.campaigns[id] = rc
+	s.order = append(s.order, id)
+	s.active[client]++
+	// Registered in the wait group before releasing the lock, so a
+	// concurrent Drain either rejected this submission or waits for it.
+	s.wg.Add(1)
+	s.mu.Unlock()
+
+	s.met.campaignsSubmitted.Add(1)
+	s.met.campaignsActive.Add(1)
+	rc.hub.publish(Event{Type: EventSubmitted, Campaign: id})
+	go s.run(rc)
+
+	writeJSON(w, http.StatusAccepted, Submitted{
+		ID:        id,
+		Jobs:      len(jobs),
+		StatusURL: "/v1/campaigns/" + id,
+		EventsURL: "/v1/campaigns/" + id + "/events",
+		ExportURL: "/v1/campaigns/" + id + "/export",
+	})
+}
+
+// run executes one campaign on the shared executor, feeding the
+// tracker, event hub and metrics.
+func (s *Server) run(rc *campaignRun) {
+	defer s.wg.Done()
+	eng := &campaign.Engine{
+		Workers:  cap(s.gate), // per-campaign workers; the gate bounds the fleet
+		CacheDir: s.cfg.CacheDir,
+		Flight:   s.flight,
+		Gate:     s.gate,
+		OnResult: func(r campaign.Result) {
+			switch {
+			case r.Dedup:
+				s.met.dedupHits.Add(1)
+			case r.Cached:
+				s.met.cacheHits.Add(1)
+			default:
+				s.met.jobsExecuted.Add(1)
+				s.met.instsCommitted.Add(r.Stats.CommittedReal)
+				s.met.simNanos.Add(r.FinishedAt.Sub(r.StartedAt).Nanoseconds())
+			}
+		},
+		OnJobError: func(j campaign.Job, err error) {
+			s.met.jobsFailed.Add(1)
+		},
+	}
+	rc.tracker.OnChange = func(js campaign.JobStatus) {
+		rc.hub.publish(Event{Type: EventJob, Campaign: rc.id, Job: &js})
+	}
+	rc.tracker.Attach(eng)
+
+	rs, err := eng.Run(s.ctx, rc.spec)
+	rc.tracker.FinishSkipped()
+	rc.finish(rs, err)
+
+	st := rc.tracker.Snapshot()
+	st.Jobs = nil // the done event carries the summary, not the roster
+	done := Event{Type: EventDone, Campaign: rc.id, Status: &st}
+	if err != nil {
+		done.Error = err.Error()
+		s.met.campaignsFailed.Add(1)
+	} else {
+		s.met.campaignsDone.Add(1)
+	}
+	rc.hub.publish(done)
+	rc.hub.close()
+
+	s.met.campaignsActive.Add(-1)
+	s.mu.Lock()
+	if s.active[rc.client]--; s.active[rc.client] <= 0 {
+		delete(s.active, rc.client)
+	}
+	s.mu.Unlock()
+}
+
+// CampaignInfo is the status view of one campaign.
+type CampaignInfo struct {
+	ID        string          `json:"id"`
+	Client    string          `json:"client,omitempty"`
+	Name      string          `json:"name,omitempty"`
+	Jobs      int             `json:"jobs"`
+	Submitted time.Time       `json:"submitted"`
+	Done      bool            `json:"done"`
+	Finished  time.Time       `json:"finished,omitzero"`
+	Error     string          `json:"error,omitempty"`
+	Status    campaign.Status `json:"status"`
+}
+
+func (s *Server) info(rc *campaignRun, withJobs bool) CampaignInfo {
+	done, finished, _, err := rc.state()
+	info := CampaignInfo{
+		ID:        rc.id,
+		Client:    rc.client,
+		Name:      rc.spec.Name,
+		Jobs:      rc.jobs,
+		Submitted: rc.submitted,
+		Done:      done,
+		Finished:  finished,
+	}
+	if withJobs {
+		info.Status = rc.tracker.Snapshot()
+	} else {
+		info.Status = rc.tracker.Summary()
+	}
+	if err != nil {
+		info.Error = err.Error()
+	}
+	return info
+}
+
+func (s *Server) lookup(r *http.Request) (*campaignRun, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rc, ok := s.campaigns[r.PathValue("id")]
+	return rc, ok
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	runs := make([]*campaignRun, 0, len(s.order))
+	for _, id := range s.order {
+		runs = append(runs, s.campaigns[id])
+	}
+	s.mu.Unlock()
+	out := make([]CampaignInfo, 0, len(runs))
+	for _, rc := range runs {
+		out = append(out, s.info(rc, false))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	rc, ok := s.lookup(r)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no campaign %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.info(rc, true))
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	rc, ok := s.lookup(r)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no campaign %q", r.PathValue("id"))
+		return
+	}
+	streamEvents(w, r, rc.hub)
+}
+
+func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) {
+	rc, ok := s.lookup(r)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no campaign %q", r.PathValue("id"))
+		return
+	}
+	done, _, rs, cerr := rc.state()
+	if !done {
+		writeError(w, http.StatusConflict, "campaign %s is still running", rc.id)
+		return
+	}
+	if rs == nil {
+		msg := "campaign produced no results"
+		if cerr != nil {
+			msg = cerr.Error()
+		}
+		writeError(w, http.StatusUnprocessableEntity, "campaign %s: %s", rc.id, msg)
+		return
+	}
+	var err error
+	switch format := r.URL.Query().Get("format"); format {
+	case "csv":
+		w.Header().Set("Content-Type", "text/csv")
+		err = rs.WriteCSV(w)
+	case "", "json":
+		w.Header().Set("Content-Type", "application/json")
+		err = rs.WriteJSON(w)
+	default:
+		writeError(w, http.StatusBadRequest, "unknown format %q (csv, json)", format)
+		return
+	}
+	if err != nil {
+		// Headers are gone and part of the body may be written; abort
+		// the connection so the client sees a transport error instead
+		// of a clean EOF on a truncated export.
+		panic(http.ErrAbortHandler)
+	}
+}
+
+// errCampaignFailed wraps a failed campaign's server-side error for
+// clients.
+var errCampaignFailed = errors.New("campaign failed")

@@ -1,0 +1,162 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/campaign"
+)
+
+// TestServiceSoakConcurrentCampaigns is the PR's acceptance gate and
+// the regression cover for the singleflight path and the atomic cache
+// writes: ten campaigns from ten clients hit one server — eight
+// identical grids plus two sweeps whose single point (iq.entries=80)
+// derives the *same* configurations as the base grid — all sharing one
+// cache directory and one in-flight dedup group.
+//
+// Required outcomes:
+//   - every campaign completes with a full result set;
+//   - zero duplicate simulations of identical JobKeys fleet-wide: the
+//     number of executed jobs equals the number of unique keys, and
+//     every other delivery is a cache or dedup hit (>= 1 of each kind
+//     of reuse overall);
+//   - the eight identical campaigns' CSV exports are byte-identical to
+//     each other and to the same spec run locally with the engine.
+//
+// Run under -race (CI does) this also soaks the engine's shared-state
+// paths: Flight, Gate, tracker callbacks and the on-disk cache.
+func TestServiceSoakConcurrentCampaigns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	baseSpec := func() campaign.Spec {
+		spec := campaign.DefaultSpec(5_000)
+		spec.Name = "soak"
+		spec.Benchmarks = []string{"gzip", "mcf"}
+		spec.Techniques = []campaign.Technique{campaign.TechBaseline, campaign.TechNOOP}
+		return spec
+	}
+	sweepSpec := func() campaign.Spec {
+		spec := baseSpec()
+		spec.Name = "soak-sweep"
+		// One sweep point at the base IQ size: different campaign and
+		// sweep coordinates, identical derived configurations — the
+		// overlapping-grid case the dedup key is designed to collapse.
+		spec.Axes = []campaign.Axis{{Name: "iq.entries", Values: []int{80}}}
+		return spec
+	}
+	// Sanity: the sweep really does collapse onto the base grid's keys.
+	base, sweep := baseSpec(), sweepSpec()
+	baseJobs, err := base.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweepJobs, err := sweep.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniqueKeys := map[string]bool{}
+	for _, jobs := range [][]campaign.Job{baseJobs, sweepJobs} {
+		for i := range jobs {
+			k, err := campaign.JobKey(&jobs[i], baseSpec().Params)
+			if err != nil {
+				t.Fatal(err)
+			}
+			uniqueKeys[k] = true
+		}
+	}
+	if len(uniqueKeys) != len(baseJobs) {
+		t.Fatalf("sweep point does not collapse onto base keys: %d unique, want %d",
+			len(uniqueKeys), len(baseJobs))
+	}
+
+	_, cl := startServer(t, Config{CacheDir: t.TempDir(), Workers: 4})
+	ctx := context.Background()
+
+	const identical = 8
+	const sweeps = 2
+	type outcome struct {
+		id  string
+		csv []byte
+		err error
+	}
+	outs := make([]outcome, identical+sweeps)
+	var wg sync.WaitGroup
+	for i := range outs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := NewClient(cl.Base)
+			c.ID = fmt.Sprintf("client-%d", i)
+			spec := baseSpec()
+			if i >= identical {
+				spec = sweepSpec()
+			}
+			sub, err := c.Submit(ctx, spec)
+			if err != nil {
+				outs[i].err = err
+				return
+			}
+			outs[i].id = sub.ID
+			if err := c.Stream(ctx, sub.ID, func(Event) error { return nil }); err != nil {
+				outs[i].err = err
+				return
+			}
+			outs[i].csv, outs[i].err = c.Export(ctx, sub.ID, "csv")
+		}(i)
+	}
+	wg.Wait()
+
+	for i, o := range outs {
+		if o.err != nil {
+			t.Fatalf("campaign %d: %v", i, o.err)
+		}
+	}
+
+	// Byte-identical exports across the identical campaigns, and vs a
+	// local engine run of the same spec.
+	local, err := (&campaign.Engine{Workers: 2}).Run(ctx, baseSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var localCSV bytes.Buffer
+	if err := local.WriteCSV(&localCSV); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < identical; i++ {
+		if !bytes.Equal(outs[i].csv, localCSV.Bytes()) {
+			t.Errorf("campaign %d CSV differs from the local run:\n%s\nvs local:\n%s",
+				i, outs[i].csv, localCSV.String())
+		}
+	}
+	for i := identical + 1; i < identical+sweeps; i++ {
+		if !bytes.Equal(outs[i].csv, outs[identical].csv) {
+			t.Errorf("sweep campaign %d CSV differs from sweep campaign %d", i, identical)
+		}
+	}
+
+	// Zero duplicate simulations: executed == unique keys; everything
+	// else was served from cache or a concurrent identical execution.
+	text := fetchMetrics(t, cl)
+	executed := metricValue(t, text, "sdiqd_jobs_executed_total")
+	cacheHits := metricValue(t, text, "sdiqd_job_cache_hits_total")
+	dedupHits := metricValue(t, text, "sdiqd_job_dedup_hits_total")
+	totalJobs := float64((identical + sweeps) * len(baseJobs))
+	if executed != float64(len(uniqueKeys)) {
+		t.Errorf("executed %g simulations for %d unique keys: duplicate simulation slipped through dedup",
+			executed, len(uniqueKeys))
+	}
+	if executed+cacheHits+dedupHits != totalJobs {
+		t.Errorf("job accounting off: %g executed + %g cache + %g dedup != %g total",
+			executed, cacheHits, dedupHits, totalJobs)
+	}
+	if cacheHits+dedupHits == 0 {
+		t.Error("no cache or dedup reuse at all in a 10-campaign soak")
+	}
+	if failed := metricValue(t, text, "sdiqd_jobs_failed_total"); failed != 0 {
+		t.Errorf("%g jobs failed", failed)
+	}
+}

@@ -7,15 +7,21 @@
 // Usage:
 //
 //	sdiqd [-addr :8080] [-cache DIR] [-parallel N] [-quota N]
-//	      [-drain 30s]
+//	      [-drain 30s] [-lease-ttl 15s] [-job-retries 2]
 //
-// -parallel bounds concurrent simulations across all campaigns (0 =
-// GOMAXPROCS); -quota caps active campaigns per client (0 = unlimited).
-// On SIGTERM/SIGINT the server drains: new submissions are refused with
-// 503, running campaigns get up to -drain to finish, then are cancelled
-// at job granularity.
+// -parallel bounds concurrent in-process simulations across all
+// campaigns (0 = GOMAXPROCS); -quota caps active campaigns per client
+// (0 = unlimited). On SIGTERM/SIGINT the server drains: new submissions
+// are refused with 503, running campaigns get up to -drain to finish,
+// then are cancelled at job granularity.
+//
+// Remote workers (sdiqw) may register at any time; cache-missed jobs
+// are then offered to the fleet over leases. -lease-ttl is how long a
+// worker may go silent before its job is re-queued; -job-retries bounds
+// re-leases before a job falls back to local execution.
 //
 //	sdiqd -addr :8080 -cache /var/cache/sdiq &
+//	sdiqw -server http://localhost:8080 -scratch /tmp/sdiqw &
 //	sdiq -remote http://localhost:8080 -experiment fig8
 //	curl -s localhost:8080/metrics | grep sdiqd_
 package main
@@ -41,6 +47,8 @@ func main() {
 	parallel := flag.Int("parallel", 0, "max concurrent simulations fleet-wide (0 = GOMAXPROCS)")
 	quota := flag.Int("quota", 0, "max active campaigns per client (0 = unlimited)")
 	drain := flag.Duration("drain", 30*time.Second, "grace period for running campaigns on shutdown")
+	leaseTTL := flag.Duration("lease-ttl", 15*time.Second, "worker lease lifetime between heartbeats")
+	jobRetries := flag.Int("job-retries", 2, "re-lease attempts after a failed lease before local fallback (negative = none)")
 	flag.Parse()
 
 	log.SetPrefix("sdiqd: ")
@@ -50,6 +58,8 @@ func main() {
 		CacheDir:       *cacheDir,
 		Workers:        *parallel,
 		QuotaPerClient: *quota,
+		LeaseTTL:       *leaseTTL,
+		JobRetries:     *jobRetries,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
 

@@ -1,0 +1,74 @@
+// Command sdiqw is the remote simulation worker: it registers with a
+// sdiqd campaign server, pulls jobs over HTTP leases, runs them with
+// the same executor the server and CLI use (so results are
+// byte-identical wherever a job lands), heartbeats while they run, and
+// uploads the results. Point any number of sdiqw processes — on any
+// machines — at one sdiqd to scale a campaign fleet horizontally.
+//
+// Usage:
+//
+//	sdiqw -server http://host:8080 [-name NAME] [-scratch DIR]
+//	      [-parallel N]
+//
+// -scratch is the worker's local result cache: a job this worker has
+// run before is answered from disk. -parallel is how many jobs run
+// concurrently (default: GOMAXPROCS).
+//
+// On SIGTERM/SIGINT the worker drains: it stops taking leases, finishes
+// and uploads in-flight jobs, then deregisters. A second signal aborts
+// immediately — in-flight jobs are abandoned and the server's lease TTL
+// re-queues them on the rest of the fleet.
+//
+//	sdiqd -addr :8080 -cache /var/cache/sdiq &
+//	sdiqw -server http://localhost:8080 -scratch /tmp/sdiqw &
+//	sdiq -remote http://localhost:8080 -experiment fig8
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+
+	"repro/internal/worker"
+)
+
+func main() {
+	server := flag.String("server", "http://localhost:8080", "sdiqd base URL")
+	name := flag.String("name", "", "worker name (default: hostname)")
+	scratch := flag.String("scratch", "", "local result cache directory (recommended)")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent jobs")
+	flag.Parse()
+
+	log.SetPrefix("sdiqw: ")
+	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
+
+	w := &worker.Worker{
+		Server:      *server,
+		Name:        *name,
+		Scratch:     *scratch,
+		Concurrency: *parallel,
+		Logf:        log.Printf,
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigs
+		log.Printf("draining: finishing in-flight jobs (signal again to abort)")
+		w.Shutdown()
+		<-sigs
+		log.Printf("aborting")
+		cancel()
+	}()
+
+	if err := w.Run(ctx); err != nil && err != context.Canceled {
+		log.Fatalf("worker: %v", err)
+	}
+	log.Printf("drained, bye")
+}

@@ -45,6 +45,46 @@ func JobKey(job *Job, params power.Params) (string, error) {
 	return hex.EncodeToString(sum[:]), nil
 }
 
+// Cache is the exported handle on a result cache directory — the same
+// store the engine uses internally, for drivers that manage results by
+// JobKey themselves (the remote worker's scratch cache). A nil *Cache
+// (from an empty dir) is safe to use and never hits.
+type Cache struct {
+	dc *diskCache
+}
+
+// OpenCache opens (creating if needed) a result cache at dir. An empty
+// dir returns a nil Cache whose Get always misses and Put discards.
+func OpenCache(dir string) (*Cache, error) {
+	dc, err := newDiskCache(dir)
+	if err != nil {
+		return nil, err
+	}
+	if dc == nil {
+		return nil, nil
+	}
+	return &Cache{dc: dc}, nil
+}
+
+// Get loads the cached result for a JobKey; ok is false on a miss or a
+// corrupt entry. Hits come back with Cached set, like the engine's.
+func (c *Cache) Get(key string) (Result, bool) {
+	if c == nil || key == "" {
+		return Result{}, false
+	}
+	return c.dc.get(key)
+}
+
+// Put stores a result under a JobKey (atomically, like the engine's
+// writes). Errors are the caller's to ignore: a failed write only costs
+// a future re-simulation.
+func (c *Cache) Put(key string, res Result) error {
+	if c == nil || key == "" {
+		return nil
+	}
+	return c.dc.put(key, res)
+}
+
 // diskCache persists one Result per content hash under a directory,
 // sharded by the key's first byte to keep directories small. A missing
 // or unreadable entry is a miss, never an error: the cache is an

@@ -6,7 +6,24 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+
+	"repro/internal/power"
 )
+
+// Runner is the engine's execution indirection: it is handed every job
+// that survived the cache and dedup layers and decides where the job
+// actually simulates — inline, or on a remote worker fleet (the campaign
+// service's dispatcher). key is the job's content hash ("" when the job
+// is unhashable) and params the campaign's power parameters, which are
+// part of that hash; a remote runner ships both so the far side can
+// validate the work against the same identity the cache uses.
+//
+// The returned Result is cached and delivered exactly as an inline
+// execution's would be. A Runner must honour ctx: when it ends the job
+// is abandoned, and the runner returns ctx's error.
+type Runner interface {
+	RunJob(ctx context.Context, job *Job, key string, params power.Params) (Result, error)
+}
 
 // Engine executes campaigns. The zero value runs with GOMAXPROCS workers
 // and no cache; set CacheDir to persist results across runs.
@@ -32,6 +49,14 @@ type Engine struct {
 	// Gate, when non-nil, bounds concurrent simulations across every
 	// engine sharing it; cache and dedup hits bypass it.
 	Gate Gate
+	// Runner, when non-nil, executes cache-missed jobs instead of the
+	// inline simulate path. The engine still owns caching and dedup: the
+	// runner only sees jobs that genuinely need executing, and its
+	// results enter the shared cache like any other. The engine's own
+	// Gate is not applied around a Runner — bounding execution is then
+	// the runner's job (the service dispatcher gates its local fallback
+	// with the same shared Gate).
+	Runner Runner
 }
 
 // jobQueue is one worker's share of the campaign. The owner pops from
@@ -177,11 +202,26 @@ func (e *Engine) Run(ctx context.Context, spec Spec) (*ResultSet, error) {
 			if res, ok := fromCache(); ok {
 				return res, nil
 			}
+			if e.Runner != nil {
+				if e.OnJobStart != nil {
+					mu.Lock()
+					e.OnJobStart(*job)
+					mu.Unlock()
+				}
+				res, err := e.Runner.RunJob(ctx, job, key, spec.Params)
+				if err != nil {
+					return res, err
+				}
+				if cache != nil && key != "" {
+					_ = cache.put(key, res)
+				}
+				return res, nil
+			}
 			if e.Gate != nil {
-				if err := e.Gate.acquire(ctx); err != nil {
+				if err := e.Gate.Acquire(ctx); err != nil {
 					return Result{}, err
 				}
-				defer e.Gate.release()
+				defer e.Gate.Release()
 			}
 			if e.OnJobStart != nil {
 				mu.Lock()

@@ -4,7 +4,10 @@ import (
 	"context"
 	"errors"
 	"strings"
+	"sync"
 	"testing"
+
+	"repro/internal/power"
 )
 
 // smallSpec is a fast two-benchmark grid for engine tests.
@@ -174,5 +177,81 @@ func TestEngineSweepGrid(t *testing.T) {
 	cfg, err := rs.ConfigAt(rs.Points()[0])
 	if err != nil || cfg.IQ.Entries != 16 {
 		t.Errorf("ConfigAt = %d entries, %v", cfg.IQ.Entries, err)
+	}
+}
+
+// fakeRunner records every job the engine hands it and executes inline,
+// standing in for the campaign service's remote dispatcher.
+type fakeRunner struct {
+	mu     sync.Mutex
+	keys   []string
+	params []power.Params
+}
+
+func (f *fakeRunner) RunJob(ctx context.Context, job *Job, key string, params power.Params) (Result, error) {
+	f.mu.Lock()
+	f.keys = append(f.keys, key)
+	f.params = append(f.params, params)
+	f.mu.Unlock()
+	return Execute(ctx, job)
+}
+
+// TestEngineRunnerIndirection: with a Runner installed, every
+// cache-missed job is routed through it (with its JobKey and the
+// campaign's power params), its results land exactly like inline ones,
+// and a cache-warm re-run never consults the runner at all.
+func TestEngineRunnerIndirection(t *testing.T) {
+	spec := smallSpec()
+	dir := t.TempDir()
+	fr := &fakeRunner{}
+	eng := &Engine{Workers: 2, CacheDir: dir, Runner: fr}
+	rs, err := eng.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rs.Complete() || rs.Executed != 4 {
+		t.Fatalf("runner campaign incomplete: %d results, %d executed", len(rs.Results), rs.Executed)
+	}
+	if len(fr.keys) != 4 {
+		t.Fatalf("runner saw %d jobs, want 4", len(fr.keys))
+	}
+	jobs, err := spec.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{}
+	for i := range jobs {
+		k, err := JobKey(&jobs[i], spec.Params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[k] = true
+	}
+	for i, k := range fr.keys {
+		if !want[k] {
+			t.Errorf("runner key %d = %.12s not a campaign JobKey", i, k)
+		}
+		if fr.params[i] != spec.Params {
+			t.Errorf("runner call %d got wrong power params", i)
+		}
+	}
+	// Inline reference run: identical stats.
+	ref, err := (&Engine{Workers: 2}).Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ref.Results {
+		if ref.Results[i].Stats != rs.Results[i].Stats {
+			t.Errorf("result %d stats diverge between runner and inline execution", i)
+		}
+	}
+	// Warm cache: the runner must not be consulted again.
+	rs2, err := (&Engine{Workers: 2, CacheDir: dir, Runner: fr}).Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs2.CacheHits != 4 || len(fr.keys) != 4 {
+		t.Errorf("warm re-run: %d cache hits, runner saw %d total jobs (want 4, 4)",
+			rs2.CacheHits, len(fr.keys))
 	}
 }

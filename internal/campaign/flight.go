@@ -91,8 +91,10 @@ func NewGate(n int) Gate {
 	return make(Gate, n)
 }
 
-// acquire takes a slot, abandoning the wait when ctx ends.
-func (g Gate) acquire(ctx context.Context) error {
+// Acquire takes a slot, abandoning the wait when ctx ends. It is
+// exported for runners outside the engine (the service dispatcher's
+// local-fallback path) that must share the same simulation bound.
+func (g Gate) Acquire(ctx context.Context) error {
 	select {
 	case g <- struct{}{}:
 		return nil
@@ -101,5 +103,5 @@ func (g Gate) acquire(ctx context.Context) error {
 	}
 }
 
-// release returns a slot.
-func (g Gate) release() { <-g }
+// Release returns a slot.
+func (g Gate) Release() { <-g }

@@ -156,11 +156,11 @@ func TestGateBoundsConcurrency(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if err := g.acquire(context.Background()); err != nil {
+			if err := g.Acquire(context.Background()); err != nil {
 				t.Error(err)
 				return
 			}
-			defer g.release()
+			defer g.Release()
 			n := running.Add(1)
 			for {
 				p := peak.Load()
@@ -182,15 +182,15 @@ func TestGateBoundsConcurrency(t *testing.T) {
 // context.
 func TestGateAcquireHonoursContext(t *testing.T) {
 	g := NewGate(1)
-	if err := g.acquire(context.Background()); err != nil {
+	if err := g.Acquire(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
 	defer cancel()
-	if err := g.acquire(ctx); !errors.Is(err, context.DeadlineExceeded) {
+	if err := g.Acquire(ctx); !errors.Is(err, context.DeadlineExceeded) {
 		t.Errorf("err = %v, want deadline exceeded", err)
 	}
-	g.release()
+	g.Release()
 }
 
 // TestJobKeyExactModePinned pins the exact-mode cache key of the

@@ -137,6 +137,17 @@ func (c *Client) Export(ctx context.Context, id, format string) ([]byte, error) 
 	return io.ReadAll(resp.Body)
 }
 
+// Delete drops a finished campaign from the server's registry (its
+// events and results are gone; the disk cache keeps the simulations).
+func (c *Client) Delete(ctx context.Context, id string) error {
+	resp, err := c.do(ctx, http.MethodDelete, "/v1/campaigns/"+id, nil)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	return nil
+}
+
 // ResultSet fetches and decodes a finished campaign.
 func (c *Client) ResultSet(ctx context.Context, id string) (*campaign.ResultSet, error) {
 	resp, err := c.do(ctx, http.MethodGet, "/v1/campaigns/"+id+"/export?format=json", nil)

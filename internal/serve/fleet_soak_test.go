@@ -1,0 +1,153 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/campaign"
+)
+
+// TestMixedFleetSoak races a three-worker fleet against the server's
+// own local-fallback path under concurrent load: ten campaigns from ten
+// clients — eight identical grids plus two sweeps whose single point
+// derives the same configurations — over one cache, one dedup group and
+// one lease queue, with an offer timeout short enough that slow leases
+// are genuinely reclaimed for local execution mid-race.
+//
+// Required outcomes, exactly as in the in-process soak, now with jobs
+// landing on both sides of the wire:
+//   - every campaign completes and exports byte-identically to a pure
+//     local run;
+//   - zero duplicate simulations of identical JobKeys fleet-wide:
+//     executed == unique keys, with every execution accounted either
+//     remote or local, and no lease ever failing;
+//   - the dedup/lease accounting adds up (executed + cache + dedup ==
+//     total jobs).
+//
+// Run under -race (CI does) this soaks the dispatcher's state machine:
+// the offer-timer-vs-lease-grant race, queue withdrawal, heartbeat
+// renewal and upload validation all under fire.
+func TestMixedFleetSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	baseSpec := func() campaign.Spec {
+		spec := campaign.DefaultSpec(5_000)
+		spec.Name = "fleet-soak"
+		spec.Benchmarks = []string{"gzip", "mcf"}
+		spec.Techniques = []campaign.Technique{campaign.TechBaseline, campaign.TechNOOP}
+		return spec
+	}
+	sweepSpec := func() campaign.Spec {
+		spec := baseSpec()
+		spec.Name = "fleet-soak-sweep"
+		spec.Axes = []campaign.Axis{{Name: "iq.entries", Values: []int{80}}}
+		return spec
+	}
+	base := baseSpec()
+	baseJobs, err := base.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	_, cl := startServer(t, Config{
+		CacheDir: t.TempDir(),
+		Workers:  4,
+		LeaseTTL: 2 * time.Second,
+		// Short offer window: jobs the fleet doesn't claim fast enough
+		// are reclaimed locally, so both execution paths really race.
+		OfferTimeout: 50 * time.Millisecond,
+		WorkerTTL:    60 * time.Second,
+		JobRetries:   2,
+	})
+	ctx := context.Background()
+
+	for i := 0; i < 3; i++ {
+		startWorker(t, cl.Base, fmt.Sprintf("fleet-%d", i), 2, nil)
+	}
+	waitMetric(t, cl, "sdiqd_workers_connected", 3)
+
+	const identical = 8
+	const sweeps = 2
+	type outcome struct {
+		csv []byte
+		err error
+	}
+	outs := make([]outcome, identical+sweeps)
+	var wg sync.WaitGroup
+	for i := range outs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := NewClient(cl.Base)
+			c.ID = fmt.Sprintf("fleet-client-%d", i)
+			spec := baseSpec()
+			if i >= identical {
+				spec = sweepSpec()
+			}
+			sub, err := c.Submit(ctx, spec)
+			if err != nil {
+				outs[i].err = err
+				return
+			}
+			if err := c.Stream(ctx, sub.ID, func(Event) error { return nil }); err != nil {
+				outs[i].err = err
+				return
+			}
+			outs[i].csv, outs[i].err = c.Export(ctx, sub.ID, "csv")
+		}(i)
+	}
+	wg.Wait()
+	for i, o := range outs {
+		if o.err != nil {
+			t.Fatalf("campaign %d: %v", i, o.err)
+		}
+	}
+
+	// Byte-identity against a pure-local run, for every campaign.
+	local := localCSV(t, baseSpec())
+	for i := 0; i < identical; i++ {
+		if !bytes.Equal(outs[i].csv, local) {
+			t.Errorf("campaign %d CSV differs from the local run", i)
+		}
+	}
+	for i := identical + 1; i < identical+sweeps; i++ {
+		if !bytes.Equal(outs[i].csv, outs[identical].csv) {
+			t.Errorf("sweep campaign %d CSV differs from sweep campaign %d", i, identical)
+		}
+	}
+
+	// Exactly-once accounting across both execution paths.
+	text := fetchMetrics(t, cl)
+	executed := metricValue(t, text, "sdiqd_jobs_executed_total")
+	cacheHits := metricValue(t, text, "sdiqd_job_cache_hits_total")
+	dedupHits := metricValue(t, text, "sdiqd_job_dedup_hits_total")
+	remote := metricValue(t, text, "sdiqd_jobs_remote_total")
+	localJobs := metricValue(t, text, "sdiqd_jobs_local_total")
+	totalJobs := float64((identical + sweeps) * len(baseJobs))
+	if executed != float64(len(baseJobs)) {
+		t.Errorf("executed %g simulations for %d unique keys: duplicate simulation slipped through",
+			executed, len(baseJobs))
+	}
+	if executed+cacheHits+dedupHits != totalJobs {
+		t.Errorf("job accounting off: %g executed + %g cache + %g dedup != %g total",
+			executed, cacheHits, dedupHits, totalJobs)
+	}
+	if remote+localJobs != executed {
+		t.Errorf("execution-path accounting off: %g remote + %g local != %g executed",
+			remote, localJobs, executed)
+	}
+	if failed := metricValue(t, text, "sdiqd_jobs_failed_total"); failed != 0 {
+		t.Errorf("%g jobs failed", failed)
+	}
+	if expired := metricValue(t, text, "sdiqd_leases_expired_total"); expired != 0 {
+		t.Errorf("%g leases expired under a healthy fleet", expired)
+	}
+	if rejected := metricValue(t, text, "sdiqd_results_rejected_total"); rejected != 0 {
+		t.Errorf("%g uploads rejected from honest workers", rejected)
+	}
+}

@@ -26,6 +26,19 @@ type metrics struct {
 
 	instsCommitted atomic.Int64 // committed real instructions simulated
 	simNanos       atomic.Int64 // wall nanoseconds spent inside simulations
+
+	// Remote worker pool (see dispatcher).
+	workersRegistered atomic.Int64 // workers ever admitted
+	leasesGranted     atomic.Int64 // jobs handed to workers
+	leasesExpired     atomic.Int64 // leases that missed their TTL (dead worker)
+	leaseRequeues     atomic.Int64 // jobs put back on the queue after a failed lease
+	jobsRemote        atomic.Int64 // jobs completed by workers (validated uploads)
+	jobsLocal         atomic.Int64 // jobs executed in-process
+	jobsFellBack      atomic.Int64 // jobs reclaimed from the fleet for local execution
+	workerJobFailures atomic.Int64 // worker-reported execution errors
+	resultsRejected   atomic.Int64 // uploads that failed JobKey/identity validation
+	lateUploads       atomic.Int64 // uploads against expired or unknown leases
+	campaignsDeleted  atomic.Int64 // campaigns dropped via DELETE
 }
 
 // instsPerSecond is the service's aggregate simulation rate: committed
@@ -39,14 +52,16 @@ func (m *metrics) instsPerSecond() float64 {
 	return float64(m.instsCommitted.Load()) / (float64(ns) / float64(time.Second))
 }
 
-// handleMetrics renders the Prometheus text format.
-func (m *metrics) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	type row struct {
-		name, help, typ string
-		value           float64
-	}
-	rows := []row{
+// row is one Prometheus sample with its metadata.
+type row struct {
+	name, help, typ string
+	value           float64
+}
+
+// rows renders every counter; live gauges from other subsystems (the
+// dispatcher) are appended by the server's /metrics handler.
+func (m *metrics) rows() []row {
+	return []row{
 		{"sdiqd_uptime_seconds", "Seconds since the server started.", "gauge", time.Since(m.start).Seconds()},
 		{"sdiqd_campaigns_submitted_total", "Campaigns accepted for execution.", "counter", float64(m.campaignsSubmitted.Load())},
 		{"sdiqd_campaigns_done_total", "Campaigns that completed successfully.", "counter", float64(m.campaignsDone.Load())},
@@ -59,7 +74,23 @@ func (m *metrics) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{"sdiqd_job_dedup_hits_total", "Jobs shared from a concurrent identical execution.", "counter", float64(m.dedupHits.Load())},
 		{"sdiqd_insts_committed_total", "Committed real instructions simulated.", "counter", float64(m.instsCommitted.Load())},
 		{"sdiqd_insts_per_second", "Aggregate simulation rate over wall time spent simulating.", "gauge", m.instsPerSecond()},
+		{"sdiqd_workers_registered_total", "Workers ever admitted to the pool.", "counter", float64(m.workersRegistered.Load())},
+		{"sdiqd_leases_granted_total", "Jobs handed to remote workers.", "counter", float64(m.leasesGranted.Load())},
+		{"sdiqd_leases_expired_total", "Leases that missed their TTL (worker presumed dead).", "counter", float64(m.leasesExpired.Load())},
+		{"sdiqd_lease_requeues_total", "Jobs re-queued after a failed, expired or rejected lease.", "counter", float64(m.leaseRequeues.Load())},
+		{"sdiqd_jobs_remote_total", "Jobs completed by remote workers (validated uploads).", "counter", float64(m.jobsRemote.Load())},
+		{"sdiqd_jobs_local_total", "Jobs executed in-process (no fleet, or fallback).", "counter", float64(m.jobsLocal.Load())},
+		{"sdiqd_jobs_fellback_total", "Jobs reclaimed from the fleet for local execution.", "counter", float64(m.jobsFellBack.Load())},
+		{"sdiqd_worker_job_failures_total", "Worker-reported execution errors.", "counter", float64(m.workerJobFailures.Load())},
+		{"sdiqd_results_rejected_total", "Uploads rejected by JobKey/identity validation.", "counter", float64(m.resultsRejected.Load())},
+		{"sdiqd_late_uploads_total", "Uploads against expired or unknown leases, discarded.", "counter", float64(m.lateUploads.Load())},
+		{"sdiqd_campaigns_deleted_total", "Campaigns dropped from the registry via DELETE.", "counter", float64(m.campaignsDeleted.Load())},
 	}
+}
+
+// writeRows emits rows in the Prometheus text exposition format.
+func writeRows(w http.ResponseWriter, rows []row) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	for _, r := range rows {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %g\n", r.name, r.help, r.name, r.typ, r.name, r.value)
 	}

@@ -44,6 +44,23 @@ type Config struct {
 	// QuotaPerClient caps campaigns a single client may have active at
 	// once; 0 means unlimited.
 	QuotaPerClient int
+
+	// Remote worker pool (all zero values take defaults):
+
+	// LeaseTTL is how long a worker's job lease lives without a
+	// heartbeat before the worker is presumed dead and the job is
+	// re-queued. Default 15s.
+	LeaseTTL time.Duration
+	// OfferTimeout bounds how long a job waits on the lease queue before
+	// it is reclaimed for local execution. Default: LeaseTTL.
+	OfferTimeout time.Duration
+	// WorkerTTL is the staleness window after which a silent registered
+	// worker stops counting as connected. Default: LeaseTTL.
+	WorkerTTL time.Duration
+	// JobRetries is how many times a job is re-leased after a failed
+	// lease (expiry, worker error, rejected upload) before falling back
+	// to local execution. Default 2; negative means no retries.
+	JobRetries int
 }
 
 // Server owns the campaign registry, the shared executor gate, the
@@ -54,6 +71,7 @@ type Server struct {
 	gate   campaign.Gate
 	flight *campaign.Flight
 	met    metrics
+	disp   *dispatcher
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -103,7 +121,7 @@ func New(cfg Config) *Server {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
-	return &Server{
+	s := &Server{
 		cfg:       cfg,
 		gate:      campaign.NewGate(workers),
 		flight:    &campaign.Flight{},
@@ -113,6 +131,8 @@ func New(cfg Config) *Server {
 		campaigns: make(map[string]*campaignRun),
 		active:    make(map[string]int),
 	}
+	s.disp = newDispatcher(cfg, s.gate, &s.met)
+	return s
 }
 
 // Handler returns the service's HTTP routes.
@@ -123,7 +143,13 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/campaigns/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/campaigns/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/campaigns/{id}/export", s.handleExport)
-	mux.HandleFunc("GET /metrics", s.met.handleMetrics)
+	mux.HandleFunc("DELETE /v1/campaigns/{id}", s.handleDelete)
+	mux.HandleFunc("POST /v1/workers", s.handleWorkerRegister)
+	mux.HandleFunc("DELETE /v1/workers/{id}", s.handleWorkerDeregister)
+	mux.HandleFunc("POST /v1/leases", s.handleLease)
+	mux.HandleFunc("POST /v1/leases/{id}/heartbeat", s.handleHeartbeat)
+	mux.HandleFunc("POST /v1/leases/{id}/result", s.handleLeaseResult)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
@@ -270,10 +296,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 func (s *Server) run(rc *campaignRun) {
 	defer s.wg.Done()
 	eng := &campaign.Engine{
-		Workers:  cap(s.gate), // per-campaign workers; the gate bounds the fleet
+		// Per-campaign parallelism: the local gate bounds in-process
+		// simulations; live remote capacity is added on top so a fleet
+		// actually raises throughput instead of idling behind the gate.
+		Workers:  cap(s.gate) + s.disp.extraCapacity(),
 		CacheDir: s.cfg.CacheDir,
 		Flight:   s.flight,
 		Gate:     s.gate,
+		Runner:   s.disp, // remote-or-local routing per cache-missed job
 		OnResult: func(r campaign.Result) {
 			switch {
 			case r.Dedup:
@@ -430,6 +460,44 @@ func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) {
 		// of a clean EOF on a truncated export.
 		panic(http.ErrAbortHandler)
 	}
+}
+
+// handleMetrics renders the counters plus the dispatcher's live worker
+// and lease gauges.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeRows(w, append(s.met.rows(), s.disp.rows()...))
+}
+
+// handleDelete drops a finished campaign from the in-memory registry —
+// its tracker, event log and result set become garbage immediately.
+// Running campaigns are refused: cancel-by-delete would silently change
+// other observers' results, and the engine owns cancellation. This is
+// the first bite of result GC; exports wanted later must be fetched (or
+// re-submitted — the disk cache makes that cheap) before deletion.
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	rc, ok := s.campaigns[id]
+	if !ok {
+		s.mu.Unlock()
+		writeError(w, http.StatusNotFound, "no campaign %q", id)
+		return
+	}
+	if done, _, _, _ := rc.state(); !done {
+		s.mu.Unlock()
+		writeError(w, http.StatusConflict, "campaign %s is still running", id)
+		return
+	}
+	delete(s.campaigns, id)
+	for i, oid := range s.order {
+		if oid == id {
+			s.order = append(s.order[:i:i], s.order[i+1:]...)
+			break
+		}
+	}
+	s.mu.Unlock()
+	s.met.campaignsDeleted.Add(1)
+	w.WriteHeader(http.StatusNoContent)
 }
 
 // errCampaignFailed wraps a failed campaign's server-side error for

@@ -342,3 +342,53 @@ func TestServiceMetrics(t *testing.T) {
 		t.Errorf("active = %g, want 0", got)
 	}
 }
+
+// TestServiceDeleteCampaign: DELETE drops a finished campaign from the
+// registry — its id 404s afterwards and the registry entry (tracker,
+// event log, result set) is released — while running campaigns are
+// refused with 409 and unknown ids with 404.
+func TestServiceDeleteCampaign(t *testing.T) {
+	s, cl := startServer(t, Config{CacheDir: t.TempDir(), Workers: 2})
+	ctx := context.Background()
+	if _, err := cl.Run(ctx, tinySpec()); err != nil {
+		t.Fatal(err)
+	}
+	sub := "c0001"
+	if err := cl.Delete(ctx, sub); err != nil {
+		t.Fatalf("delete finished campaign: %v", err)
+	}
+	// Gone from every read path.
+	if _, err := cl.Status(ctx, sub); err == nil || !strings.Contains(err.Error(), "404") {
+		t.Errorf("status after delete = %v, want 404", err)
+	}
+	if _, err := cl.Export(ctx, sub, "csv"); err == nil || !strings.Contains(err.Error(), "404") {
+		t.Errorf("export after delete = %v, want 404", err)
+	}
+	if err := cl.Delete(ctx, sub); err == nil || !strings.Contains(err.Error(), "404") {
+		t.Errorf("double delete = %v, want 404", err)
+	}
+	// Registry memory actually released, not just hidden.
+	s.mu.Lock()
+	held, order := len(s.campaigns), len(s.order)
+	s.mu.Unlock()
+	if held != 0 || order != 0 {
+		t.Errorf("registry still holds %d campaigns / %d order entries after delete", held, order)
+	}
+
+	// A running campaign must be refused: deletion is GC, not cancel.
+	slow := campaign.DefaultSpec(2_000_000)
+	slow.Benchmarks = []string{"gzip"}
+	slow.Techniques = []campaign.Technique{campaign.TechBaseline}
+	sub2, err := cl.Submit(ctx, slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Delete(ctx, sub2.ID); err == nil || !strings.Contains(err.Error(), "409") {
+		t.Errorf("delete of running campaign = %v, want 409", err)
+	}
+	s.Close() // cancel the slow campaign rather than waiting it out
+
+	if got := metricValue(t, fetchMetrics(t, cl), "sdiqd_campaigns_deleted_total"); got != 1 {
+		t.Errorf("deleted = %g, want 1", got)
+	}
+}

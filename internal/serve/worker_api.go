@@ -1,0 +1,91 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"time"
+
+	"repro/internal/worker"
+)
+
+// Worker-pool HTTP surface: thin JSON shims over the dispatcher. The
+// wire types live in internal/worker (shared with the sdiqw binary and
+// pinned by that package's golden fixtures).
+
+func (s *Server) handleWorkerRegister(w http.ResponseWriter, r *http.Request) {
+	var req worker.RegisterRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad registration: %v", err)
+		return
+	}
+	resp, err := s.disp.register(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleWorkerDeregister(w http.ResponseWriter, r *http.Request) {
+	if !s.disp.deregister(r.PathValue("id")) {
+		writeError(w, http.StatusNotFound, "no worker %q", r.PathValue("id"))
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req worker.LeaseRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad lease request: %v", err)
+		return
+	}
+	l, t, err := s.disp.nextLease(r.Context(), req.WorkerID, time.Duration(req.WaitMS)*time.Millisecond)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	if l == nil {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	writeJSON(w, http.StatusOK, worker.Lease{
+		ID:         l.id,
+		Key:        t.key,
+		Attempt:    t.attempts,
+		DeadlineMS: s.disp.ttl.Milliseconds(),
+		Job:        worker.JobSpecOf(t.job, t.params),
+	})
+}
+
+func (s *Server) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var hb worker.Heartbeat
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&hb); err != nil {
+		writeError(w, http.StatusBadRequest, "bad heartbeat: %v", err)
+		return
+	}
+	resp, ok := s.disp.heartbeat(r.PathValue("id"), hb)
+	if !ok {
+		writeError(w, http.StatusGone, "lease %q is gone", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleLeaseResult(w http.ResponseWriter, r *http.Request) {
+	var up worker.ResultUpload
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20)).Decode(&up); err != nil {
+		writeError(w, http.StatusBadRequest, "bad result upload: %v", err)
+		return
+	}
+	resp, verr, ok := s.disp.complete(r.PathValue("id"), up)
+	if !ok {
+		writeError(w, http.StatusGone, "lease %q is gone (result discarded)", r.PathValue("id"))
+		return
+	}
+	if verr != nil {
+		writeError(w, http.StatusUnprocessableEntity, "result rejected: %v", verr)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -1,0 +1,161 @@
+package worker
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// ErrLeaseGone reports a heartbeat or upload against a lease the server
+// no longer holds — it expired (the job is already re-queued) or its
+// campaign is gone. The worker's move is always the same: drop the job
+// and lease the next one.
+var ErrLeaseGone = errors.New("worker: lease gone")
+
+// ErrUnknownWorker reports a lease request from an identity the server
+// does not hold — typically a server restart wiped the registry. The
+// worker's move is to register again, not to retry.
+var ErrUnknownWorker = errors.New("worker: unknown to the server")
+
+// APIError is a non-2xx protocol response. Status lets callers separate
+// terminal refusals (4xx: retrying the identical request is pointless)
+// from transient server trouble.
+type APIError struct {
+	Status int
+	Method string
+	Path   string
+	Msg    string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("worker: %s %s: %s (status %d)", e.Method, e.Path, e.Msg, e.Status)
+}
+
+// terminal reports a 4xx refusal that no retry of the same request can
+// fix.
+func terminal(err error) bool {
+	var ae *APIError
+	return errors.As(err, &ae) && ae.Status >= 400 && ae.Status < 500
+}
+
+// API is the low-level protocol client — one method per endpoint, no
+// policy. Worker drives it; protocol tests drive it directly to play
+// misbehaving fleets (dead workers, late uploads, corrupt results).
+type API struct {
+	// Base is the server root, e.g. "http://host:8080".
+	Base string
+	// HTTP is the transport; nil means http.DefaultClient.
+	HTTP *http.Client
+}
+
+// NewAPI returns a protocol client for the server at base.
+func NewAPI(base string) *API {
+	return &API{Base: strings.TrimRight(base, "/")}
+}
+
+func (a *API) http() *http.Client {
+	if a.HTTP != nil {
+		return a.HTTP
+	}
+	return http.DefaultClient
+}
+
+// call performs one JSON request. A nil out discards the body. noBody
+// status codes (204) succeed with out untouched; 410 maps to
+// ErrLeaseGone.
+func (a *API) call(ctx context.Context, method, path string, in, out any) (status int, err error) {
+	var body io.Reader
+	if in != nil {
+		blob, err := json.Marshal(in)
+		if err != nil {
+			return 0, fmt.Errorf("worker: encoding %s %s: %w", method, path, err)
+		}
+		body = bytes.NewReader(blob)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, a.Base+path, body)
+	if err != nil {
+		return 0, err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := a.http().Do(req)
+	if err != nil {
+		return 0, fmt.Errorf("worker: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusGone:
+		return resp.StatusCode, ErrLeaseGone
+	case resp.StatusCode >= 400:
+		msg := resp.Status
+		var apiErr struct {
+			Error string `json:"error"`
+		}
+		if json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&apiErr) == nil && apiErr.Error != "" {
+			msg = apiErr.Error
+		}
+		return resp.StatusCode, &APIError{Status: resp.StatusCode, Method: method, Path: path, Msg: msg}
+	case resp.StatusCode == http.StatusNoContent || out == nil:
+		return resp.StatusCode, nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return resp.StatusCode, fmt.Errorf("worker: decoding %s %s: %w", method, path, err)
+	}
+	return resp.StatusCode, nil
+}
+
+// Register announces the worker and returns its identity and timing
+// contract.
+func (a *API) Register(ctx context.Context, req RegisterRequest) (RegisterResponse, error) {
+	if req.Protocol == 0 {
+		req.Protocol = ProtocolVersion
+	}
+	var resp RegisterResponse
+	_, err := a.call(ctx, http.MethodPost, "/v1/workers", req, &resp)
+	return resp, err
+}
+
+// Deregister removes the worker; any leases it still holds are
+// immediately re-queued.
+func (a *API) Deregister(ctx context.Context, workerID string) error {
+	_, err := a.call(ctx, http.MethodDelete, "/v1/workers/"+workerID, nil, nil)
+	return err
+}
+
+// Lease asks for the next job, long-polling up to req.WaitMS. ok is
+// false when the wait expired with nothing to do. ErrUnknownWorker
+// (wrapped) means the server lost this worker's registration — a
+// restart — and the worker must register again.
+func (a *API) Lease(ctx context.Context, req LeaseRequest) (Lease, bool, error) {
+	var l Lease
+	status, err := a.call(ctx, http.MethodPost, "/v1/leases", req, &l)
+	if err != nil {
+		if status == http.StatusNotFound {
+			// The lease endpoint's only 404 is an unregistered worker.
+			return Lease{}, false, fmt.Errorf("%w: %v", ErrUnknownWorker, err)
+		}
+		return Lease{}, false, err
+	}
+	return l, status != http.StatusNoContent, nil
+}
+
+// Heartbeat keeps a lease alive. ErrLeaseGone means the server already
+// gave up on it.
+func (a *API) Heartbeat(ctx context.Context, leaseID string, hb Heartbeat) (HeartbeatResponse, error) {
+	var resp HeartbeatResponse
+	_, err := a.call(ctx, http.MethodPost, "/v1/leases/"+leaseID+"/heartbeat", hb, &resp)
+	return resp, err
+}
+
+// Complete uploads a lease's outcome (result or error).
+func (a *API) Complete(ctx context.Context, leaseID string, up ResultUpload) (ResultResponse, error) {
+	var resp ResultResponse
+	_, err := a.call(ctx, http.MethodPost, "/v1/leases/"+leaseID+"/result", up, &resp)
+	return resp, err
+}

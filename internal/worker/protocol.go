@@ -1,0 +1,171 @@
+// Package worker is the remote half of the campaign service's
+// distributed simulation: a pull-based worker that registers with a
+// sdiqd server, leases jobs over HTTP, runs them with the exact
+// executor the local engine uses (against a local scratch cache),
+// streams heartbeats while a job runs, and uploads the finished
+// campaign.Result. The server validates every upload against the job's
+// content hash (campaign.JobKey) before the result enters the shared
+// cache, so a byzantine or stale worker can never corrupt it.
+//
+// Wire protocol (all JSON over the server's existing HTTP listener):
+//
+//	POST   /v1/workers              RegisterRequest  → RegisterResponse
+//	DELETE /v1/workers/{id}         deregister (requeues live leases)
+//	POST   /v1/leases               LeaseRequest     → Lease | 204 (none)
+//	POST   /v1/leases/{id}/heartbeat  Heartbeat      → HeartbeatResponse
+//	POST   /v1/leases/{id}/result   ResultUpload     → ResultResponse
+//
+// The lease request long-polls: the server holds it open until a job is
+// available or the wait expires. A lease lives LeaseTTLMS from grant and
+// every accepted heartbeat re-arms it; a lease that outlives its TTL is
+// presumed dead, and its job is re-queued for another worker (bounded
+// retries, then the server runs it locally). A late upload against an
+// expired lease is answered 410 Gone and discarded.
+package worker
+
+import (
+	"repro/internal/campaign"
+	"repro/internal/power"
+	"repro/internal/sim"
+)
+
+// ProtocolVersion guards wire compatibility: the server refuses
+// registrations from workers speaking a different version, which turns
+// a skewed-binary fleet into a clean startup error instead of subtle
+// result corruption.
+const ProtocolVersion = 1
+
+// RegisterRequest announces a worker to the server.
+type RegisterRequest struct {
+	// Name labels the worker in logs and metrics (hostname by default).
+	Name string `json:"name"`
+	// Capacity is how many jobs the worker runs concurrently; the server
+	// uses the fleet total to size campaign parallelism.
+	Capacity int `json:"capacity"`
+	// Protocol is the worker's ProtocolVersion.
+	Protocol int `json:"protocol"`
+}
+
+// RegisterResponse hands the worker its identity and the protocol's
+// timing contract.
+type RegisterResponse struct {
+	// WorkerID names this worker in every subsequent request.
+	WorkerID string `json:"worker_id"`
+	// LeaseTTLMS is how long a granted lease lives without a heartbeat.
+	LeaseTTLMS int64 `json:"lease_ttl_ms"`
+	// HeartbeatMS is how often the worker must heartbeat a running job.
+	HeartbeatMS int64 `json:"heartbeat_ms"`
+	// MaxPollMS caps the long-poll wait the server will honour.
+	MaxPollMS int64 `json:"max_poll_ms"`
+}
+
+// LeaseRequest asks for the next job, long-polling up to WaitMS.
+type LeaseRequest struct {
+	WorkerID string `json:"worker_id"`
+	WaitMS   int64  `json:"wait_ms"`
+}
+
+// Lease is one granted job: the complete job identity travels with the
+// work, so the worker can rebuild and verify it independently.
+type Lease struct {
+	// ID names the lease in heartbeats and the result upload.
+	ID string `json:"id"`
+	// Key is the job's content hash (campaign.JobKey). The worker
+	// recomputes it from Job and refuses mismatches — a conformance
+	// self-check that catches protocol or version drift before any
+	// simulation time is spent.
+	Key string `json:"key"`
+	// Attempt counts leases of this job, starting at 1; retries after a
+	// failed or expired lease increment it.
+	Attempt int `json:"attempt"`
+	// DeadlineMS is the lease TTL from grant.
+	DeadlineMS int64 `json:"deadline_ms"`
+	// Job is the work itself.
+	Job JobSpec `json:"job"`
+}
+
+// JobSpec is the wire form of a campaign.Job plus the campaign's power
+// parameters (part of the job's cache identity).
+type JobSpec struct {
+	Bench    string             `json:"bench"`
+	Tech     campaign.Technique `json:"tech"`
+	Point    campaign.Point     `json:"point,omitempty"`
+	Config   sim.Config         `json:"config"`
+	Budget   int64              `json:"budget"`
+	Seed     int64              `json:"seed"`
+	Sampling *campaign.Sampling `json:"sampling,omitempty"`
+	Params   power.Params       `json:"params"`
+}
+
+// JobSpecOf converts an engine job to its wire form. The config's probe
+// is dropped: probes are in-process attachments and never cross the
+// wire (JobKey already excludes them).
+func JobSpecOf(j *campaign.Job, params power.Params) JobSpec {
+	cfg := j.Config
+	cfg.Probe = nil
+	return JobSpec{
+		Bench:    j.Bench,
+		Tech:     j.Tech,
+		Point:    j.Point,
+		Config:   cfg,
+		Budget:   j.Budget,
+		Seed:     j.Seed,
+		Sampling: j.Sampling,
+		Params:   params,
+	}
+}
+
+// Job rebuilds the engine job this spec describes.
+func (s *JobSpec) Job() campaign.Job {
+	return campaign.Job{
+		Bench:    s.Bench,
+		Tech:     s.Tech,
+		Point:    s.Point,
+		Config:   s.Config,
+		Budget:   s.Budget,
+		Seed:     s.Seed,
+		Sampling: s.Sampling,
+	}
+}
+
+// Heartbeat keeps a lease alive and streams progress.
+type Heartbeat struct {
+	WorkerID string `json:"worker_id"`
+	// ElapsedMS is how long the leased job has been running.
+	ElapsedMS int64 `json:"elapsed_ms"`
+	// InstsPerSec is the worker's committed-instruction rate over the
+	// jobs it has completed this session (0 until the first finishes).
+	InstsPerSec float64 `json:"insts_per_sec,omitempty"`
+}
+
+// HeartbeatResponse acknowledges a heartbeat.
+type HeartbeatResponse struct {
+	// Cancel tells the worker to abandon the job: its campaign is gone
+	// (cancelled or already satisfied elsewhere).
+	Cancel bool `json:"cancel,omitempty"`
+	// DeadlineMS is the renewed lease TTL from now.
+	DeadlineMS int64 `json:"deadline_ms"`
+}
+
+// ResultUpload completes a lease: either a finished result or the
+// worker's error. Exactly one of Result and Error is set.
+type ResultUpload struct {
+	WorkerID string `json:"worker_id"`
+	// Key echoes the lease's job hash; the server re-validates it (and
+	// the result's identity fields) against the job it actually leased.
+	Key string `json:"key"`
+	// Error reports a failed execution; the server re-queues the job.
+	Error string `json:"error,omitempty"`
+	// Result is the finished job's result.
+	Result *campaign.Result `json:"result,omitempty"`
+}
+
+// ResultResponse acknowledges an upload.
+type ResultResponse struct {
+	// Accepted means the result entered the campaign (and will enter the
+	// shared cache).
+	Accepted bool `json:"accepted"`
+	// Requeued means the job went back on the queue (failed or rejected
+	// upload).
+	Requeued bool `json:"requeued,omitempty"`
+}

@@ -1,0 +1,311 @@
+package worker
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/campaign"
+)
+
+// Worker is the pull-based remote simulation worker: it registers with
+// a campaign server, leases jobs, executes them with campaign.Execute
+// against a local scratch cache, heartbeats while they run, and uploads
+// the results. Run drives it until ctx ends (hard stop: in-flight jobs
+// are abandoned and the server re-leases them) or Shutdown is called
+// (graceful: stop leasing, finish in-flight jobs, deregister).
+type Worker struct {
+	// Server is the sdiqd base URL.
+	Server string
+	// Name labels the worker (hostname when empty).
+	Name string
+	// Scratch is the local result cache directory ("" = none): a job the
+	// worker has run before is answered from disk without re-simulating.
+	Scratch string
+	// Concurrency is how many leases run at once (min 1).
+	Concurrency int
+	// API overrides the protocol client (tests); nil builds one from
+	// Server.
+	API *API
+
+	// Logf, when non-nil, receives worker lifecycle logging.
+	Logf func(format string, args ...any)
+	// OnLease, when non-nil, observes every granted lease before the job
+	// executes — the failure-injection tests' kill hook.
+	OnLease func(Lease)
+	// OnDone, when non-nil, observes every execution outcome before its
+	// upload.
+	OnDone func(l Lease, res campaign.Result, err error)
+
+	// insts/simNanos accumulate completed-job work for the heartbeat's
+	// insts-per-second progress figure.
+	insts    atomic.Int64
+	simNanos atomic.Int64
+
+	quitOnce sync.Once
+	quit     chan struct{}
+}
+
+func (w *Worker) logf(format string, args ...any) {
+	if w.Logf != nil {
+		w.Logf(format, args...)
+	}
+}
+
+// quitCh lazily builds the graceful-shutdown channel so Shutdown works
+// whether or not Run has started.
+func (w *Worker) quitCh() chan struct{} {
+	w.quitOnce.Do(func() { w.quit = make(chan struct{}) })
+	return w.quit
+}
+
+// Shutdown stops the worker gracefully: no new leases are taken,
+// in-flight jobs finish and upload, then Run deregisters and returns.
+// Safe to call from any goroutine, more than once, before or after Run.
+func (w *Worker) Shutdown() {
+	ch := w.quitCh()
+	select {
+	case <-ch:
+	default:
+		close(ch)
+	}
+}
+
+// rate returns the worker's committed-instructions-per-second over its
+// completed jobs (0 until the first one lands).
+func (w *Worker) rate() float64 {
+	ns := w.simNanos.Load()
+	if ns <= 0 {
+		return 0
+	}
+	return float64(w.insts.Load()) / (float64(ns) / float64(time.Second))
+}
+
+// Run registers and serves leases until ctx ends or Shutdown is called.
+// Cancelling ctx is a hard stop — running jobs abort mid-simulation and
+// nothing more is sent, exactly like a crashed machine; the server's
+// lease TTL recovers their jobs.
+func (w *Worker) Run(ctx context.Context) error {
+	api := w.API
+	if api == nil {
+		api = NewAPI(w.Server)
+	}
+	conc := w.Concurrency
+	if conc < 1 {
+		conc = 1
+	}
+	name := w.Name
+	if name == "" {
+		name, _ = os.Hostname()
+	}
+	scratch, err := campaign.OpenCache(w.Scratch)
+	if err != nil {
+		return fmt.Errorf("worker: scratch cache: %w", err)
+	}
+
+	reg, err := api.Register(ctx, RegisterRequest{Name: name, Capacity: conc})
+	if err != nil {
+		return err
+	}
+	w.logf("registered as %s (lease ttl %dms, heartbeat %dms)",
+		reg.WorkerID, reg.LeaseTTLMS, reg.HeartbeatMS)
+
+	// pollCtx ends on either stop signal, cutting the long-poll short.
+	pollCtx, cancelPoll := context.WithCancel(ctx)
+	defer cancelPoll()
+	quit := w.quitCh()
+	go func() {
+		select {
+		case <-quit:
+			cancelPoll()
+		case <-pollCtx.Done():
+		}
+	}()
+
+	slots := make(chan struct{}, conc)
+	var wg sync.WaitGroup
+lease:
+	for {
+		select {
+		case slots <- struct{}{}:
+		case <-pollCtx.Done():
+			break lease
+		}
+		l, ok, err := api.Lease(pollCtx, LeaseRequest{WorkerID: reg.WorkerID, WaitMS: reg.MaxPollMS})
+		if err != nil {
+			<-slots
+			if pollCtx.Err() != nil {
+				break lease
+			}
+			if errors.Is(err, ErrUnknownWorker) {
+				// The server lost our registration (it restarted):
+				// register again instead of retrying a doomed identity.
+				if nr, rerr := api.Register(pollCtx, RegisterRequest{Name: name, Capacity: conc}); rerr == nil {
+					w.logf("server forgot us; re-registered as %s", nr.WorkerID)
+					reg = nr
+					continue
+				}
+			}
+			w.logf("lease poll: %v (retrying)", err)
+			select {
+			case <-time.After(500 * time.Millisecond):
+			case <-pollCtx.Done():
+				break lease
+			}
+			continue
+		}
+		if !ok {
+			<-slots
+			continue
+		}
+		wg.Add(1)
+		go func(l Lease) {
+			defer wg.Done()
+			defer func() { <-slots }()
+			w.serve(ctx, api, reg, scratch, l)
+		}(l)
+	}
+	wg.Wait()
+
+	// Deregister only on the graceful path. A hard stop (ctx cancelled)
+	// models a crashed machine: it says nothing, and the server's lease
+	// TTL is the cleanup — which is exactly what the failure-injection
+	// suite exercises.
+	if ctx.Err() == nil {
+		dctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		if err := api.Deregister(dctx, reg.WorkerID); err == nil {
+			w.logf("deregistered %s", reg.WorkerID)
+		}
+	}
+	return ctx.Err()
+}
+
+// serve executes one lease: scratch-cache check, heartbeat loop,
+// execution, upload. A worker whose ctx dies mid-job goes silent — no
+// upload, no error report — which is precisely the failure the server's
+// lease expiry exists to absorb.
+func (w *Worker) serve(ctx context.Context, api *API, reg RegisterResponse, scratch *campaign.Cache, l Lease) {
+	if w.OnLease != nil {
+		w.OnLease(l)
+	}
+	if ctx.Err() != nil {
+		return // killed before the job started; the lease will expire
+	}
+	job := l.Job.Job()
+	w.logf("lease %s: %s (attempt %d)", l.ID, job.ID(), l.Attempt)
+
+	// Conformance self-check: the lease's key must be the hash this
+	// worker derives from the same job. A mismatch means protocol or
+	// version drift — refuse rather than poison the shared cache.
+	key, err := campaign.JobKey(&job, l.Job.Params)
+	if err != nil || key != l.Key {
+		if err == nil {
+			err = fmt.Errorf("job key mismatch: lease says %.12s, worker derives %.12s", l.Key, key)
+		}
+		w.upload(ctx, api, reg.WorkerID, l, campaign.Result{}, fmt.Errorf("worker %s: %w", reg.WorkerID, err))
+		return
+	}
+
+	if res, ok := scratch.Get(key); ok {
+		res.Point = job.Point
+		w.logf("lease %s: scratch hit", l.ID)
+		if w.OnDone != nil {
+			w.OnDone(l, res, nil)
+		}
+		w.upload(ctx, api, reg.WorkerID, l, res, nil)
+		return
+	}
+
+	// Heartbeat until the job finishes; a Cancel response (or a gone
+	// lease) aborts the execution.
+	jobCtx, cancelJob := context.WithCancel(ctx)
+	hbDone := make(chan struct{})
+	started := time.Now()
+	go func() {
+		defer close(hbDone)
+		every := time.Duration(reg.HeartbeatMS) * time.Millisecond
+		if every <= 0 {
+			every = 5 * time.Second
+		}
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-jobCtx.Done():
+				return
+			case <-t.C:
+			}
+			resp, err := api.Heartbeat(jobCtx, l.ID, Heartbeat{
+				WorkerID:    reg.WorkerID,
+				ElapsedMS:   time.Since(started).Milliseconds(),
+				InstsPerSec: w.rate(),
+			})
+			if err == ErrLeaseGone || resp.Cancel {
+				w.logf("lease %s: server cancelled (gone=%v)", l.ID, err == ErrLeaseGone)
+				cancelJob()
+				return
+			}
+			// Transient heartbeat errors are survivable as long as one
+			// lands within the lease TTL; keep trying.
+		}
+	}()
+
+	res, execErr := campaign.Execute(jobCtx, &job)
+	cancelJob()
+	<-hbDone
+
+	if ctx.Err() != nil {
+		return // hard-stopped: vanish; the server re-leases the job
+	}
+	if execErr == nil {
+		w.insts.Add(res.Stats.CommittedReal)
+		w.simNanos.Add(res.FinishedAt.Sub(res.StartedAt).Nanoseconds())
+		_ = scratch.Put(key, res)
+	}
+	if w.OnDone != nil {
+		w.OnDone(l, res, execErr)
+	}
+	w.upload(ctx, api, reg.WorkerID, l, res, execErr)
+}
+
+// upload sends a lease's outcome, retrying briefly: the lease TTL gives
+// room, and if every attempt fails the server's expiry re-queues the
+// job anyway — correctness never depends on the upload landing.
+func (w *Worker) upload(ctx context.Context, api *API, workerID string, l Lease, res campaign.Result, execErr error) {
+	up := ResultUpload{WorkerID: workerID, Key: l.Key}
+	if execErr != nil {
+		up.Error = execErr.Error()
+	} else {
+		up.Result = &res
+	}
+	for attempt := 0; attempt < 3; attempt++ {
+		if ctx.Err() != nil {
+			return
+		}
+		_, err := api.Complete(ctx, l.ID, up)
+		if err == nil || err == ErrLeaseGone {
+			if err == ErrLeaseGone {
+				w.logf("lease %s: upload after expiry, discarded by server", l.ID)
+			}
+			return
+		}
+		if terminal(err) {
+			// A 4xx (e.g. the server rejected the result's identity) is
+			// final; re-sending identical bytes can only earn a 410 —
+			// the server has already re-queued or resolved the job.
+			w.logf("lease %s: upload refused: %v", l.ID, err)
+			return
+		}
+		w.logf("lease %s: upload failed: %v", l.ID, err)
+		select {
+		case <-time.After(200 * time.Millisecond):
+		case <-ctx.Done():
+			return
+		}
+	}
+}

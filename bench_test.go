@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/adaptive"
 	"repro/internal/campaign"
+	"repro/internal/ckpt"
 	"repro/internal/core"
 	"repro/internal/emu"
 	"repro/internal/exp"
@@ -375,6 +376,56 @@ func BenchmarkSampledCampaign(b *testing.B) {
 		}
 	}
 	b.SetBytes(int64(len(spec.Benchmarks)) * budget)
+}
+
+// ckptSweepSpec is the checkpoint store's acceptance workload: an
+// 8-cell IQ sweep of one sampled benchmark. Every cell shares one
+// warming identity (the IQ axis is excluded from the checkpoint key),
+// so with a store the grid warms once; without, eight times. The regime
+// is sparse (2k windows every 200k) — the production shape where
+// fast-forward+warming dominate and the store has the most to amortize.
+func ckptSweepSpec() campaign.Spec {
+	spec := campaign.DefaultSpec(1_000_000)
+	spec.Name = "ckpt-sweep"
+	spec.Benchmarks = []string{"gzip"}
+	spec.Techniques = []campaign.Technique{campaign.TechBaseline}
+	spec.Axes = []campaign.Axis{{Name: "iq.entries", Values: []int{16, 24, 32, 40, 48, 56, 64, 80}}}
+	spec.Sampling = &campaign.Sampling{Window: 2_000, Period: 200_000, Warmup: 20_000, DetailWarmup: 1_000}
+	return spec
+}
+
+// BenchmarkSweepNoCkpt runs the acceptance sweep warm-from-scratch:
+// every cell pays its own fast-forward and functional warming.
+func BenchmarkSweepNoCkpt(b *testing.B) {
+	spec := ckptSweepSpec()
+	eng := &campaign.Engine{Workers: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Run(context.Background(), spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(8 * 1_000_000)
+}
+
+// BenchmarkSweepCkpt runs the same sweep against a checkpoint store:
+// the first cell generates the artifact, the rest resume from it. The
+// ratio SweepNoCkpt/SweepCkpt is the store's realised speedup, recorded
+// as checkpoint_speedup in BENCH_simcore.json (acceptance gate: >= 3x).
+func BenchmarkSweepCkpt(b *testing.B) {
+	spec := ckptSweepSpec()
+	store, err := ckpt.Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := &campaign.Engine{Workers: 1, Ckpt: store}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Run(context.Background(), spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(8 * 1_000_000)
 }
 
 // BenchmarkAnalysisPass measures the whole compiler pass across the

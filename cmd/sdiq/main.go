@@ -10,7 +10,7 @@
 //	sdiq [-experiment all|table1|table2|fig6|fig7|fig8|fig9|fig10|fig11|fig12|summary|sweep]
 //	     [-budget N] [-seed N] [-parallel N] [-format table|csv]
 //	     [-config cfg.json] [-dumpconfig]
-//	     [-sweep "axis=v1,v2,...;axis=..."] [-cache DIR]
+//	     [-sweep "axis=v1,v2,...;axis=..."] [-cache DIR] [-ckpt DIR]
 //	     [-sample on|window/period/warmup|window=N,period=N,...]
 //	     [-remote http://host:port]
 //	     [-export FILE.json|FILE.csv] [-load FILE.json]
@@ -32,8 +32,12 @@
 // -sweep runs the grid at every point of the axis cross product, e.g.
 // -sweep "iq.entries=16,32,48,64,80" simulates all techniques at five
 // static queue sizes. -cache makes re-runs of any unchanged cell
-// near-instant. -export saves the campaign (spec + results); -load
-// renders tables/figures from a saved campaign without simulating.
+// near-instant. -ckpt adds the checkpoint artifact store to sampled
+// sweeps: cells that share a warming identity (same benchmark, cache
+// geometry, predictor config and sampling regime — IQ/power axes
+// excluded) reuse one functional-warming pass, bit-identically.
+// -export saves the campaign (spec + results); -load renders
+// tables/figures from a saved campaign without simulating.
 //
 // -remote executes the campaign on a sdiqd campaign service instead of
 // in-process: the spec is POSTed to the server, jobs run on its shared
@@ -60,6 +64,7 @@ import (
 	"sync"
 
 	"repro/internal/campaign"
+	"repro/internal/ckpt"
 	"repro/internal/exp"
 	"repro/internal/serve"
 )
@@ -77,6 +82,8 @@ func main() {
 		fmt.Sprintf("config axes to sweep, e.g. \"iq.entries=16,32,48,64,80\" (axes: %s)",
 			strings.Join(campaign.AxisNames(), ", ")))
 	cacheDir := flag.String("cache", "", "directory for the on-disk result cache")
+	ckptDir := flag.String("ckpt", "",
+		"directory for the checkpoint artifact store (sampled sweeps share one warming pass per grid)")
 	sampleFlag := flag.String("sample", "",
 		"sampled simulation: \"on\" for the default regime, \"window/period/warmup\" or \"window=N,period=N,warmup=N,detailwarmup=N\" (empty = exact)")
 	remote := flag.String("remote", "",
@@ -97,6 +104,15 @@ func main() {
 	r.Seed = *seed
 	r.Parallel = *parallel
 	r.CacheDir = *cacheDir
+	r.CkptDir = *ckptDir
+	// An explicitly requested store that cannot open is an error here,
+	// not the engine's silent warm-from-scratch degradation: the user
+	// asked for shared warming and should learn they aren't getting it.
+	if *ckptDir != "" {
+		if _, err := ckpt.Open(*ckptDir); err != nil {
+			fail(fmt.Errorf("-ckpt %s: %w", *ckptDir, err))
+		}
+	}
 	r.Remote = *remote
 	if *remote != "" {
 		r.OnRemoteEvent = func(ev serve.Event) {

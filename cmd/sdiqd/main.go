@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	sdiqd [-addr :8080] [-cache DIR] [-parallel N] [-quota N]
+//	sdiqd [-addr :8080] [-cache DIR] [-ckpt DIR] [-parallel N] [-quota N]
 //	      [-drain 30s] [-lease-ttl 15s] [-job-retries 2]
 //
 // -parallel bounds concurrent in-process simulations across all
@@ -19,6 +19,13 @@
 // are then offered to the fleet over leases. -lease-ttl is how long a
 // worker may go silent before its job is re-queued; -job-retries bounds
 // re-leases before a job falls back to local execution.
+//
+// -ckpt enables the checkpoint artifact store: sampled sweep cells that
+// share a warming identity reuse one functional-warming pass instead of
+// each recomputing it, locally and across the fleet (workers download
+// artifacts from /v1/checkpoints and push ones they generate).
+// DELETE /v1/campaigns/{id} garbage-collects artifacts no remaining
+// campaign references.
 //
 //	sdiqd -addr :8080 -cache /var/cache/sdiq &
 //	sdiqw -server http://localhost:8080 -scratch /tmp/sdiqw &
@@ -44,6 +51,7 @@ import (
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	cacheDir := flag.String("cache", "", "shared on-disk result cache directory (strongly recommended)")
+	ckptDir := flag.String("ckpt", "", "checkpoint artifact store directory (amortizes sampled-sweep warming)")
 	parallel := flag.Int("parallel", 0, "max concurrent simulations fleet-wide (0 = GOMAXPROCS)")
 	quota := flag.Int("quota", 0, "max active campaigns per client (0 = unlimited)")
 	drain := flag.Duration("drain", 30*time.Second, "grace period for running campaigns on shutdown")
@@ -56,6 +64,7 @@ func main() {
 
 	s := serve.New(serve.Config{
 		CacheDir:       *cacheDir,
+		CkptDir:        *ckptDir,
 		Workers:        *parallel,
 		QuotaPerClient: *quota,
 		LeaseTTL:       *leaseTTL,

@@ -8,11 +8,14 @@
 // Usage:
 //
 //	sdiqw -server http://host:8080 [-name NAME] [-scratch DIR]
-//	      [-parallel N]
+//	      [-ckpt DIR] [-parallel N]
 //
 // -scratch is the worker's local result cache: a job this worker has
-// run before is answered from disk. -parallel is how many jobs run
-// concurrently (default: GOMAXPROCS).
+// run before is answered from disk. -ckpt is the worker's local
+// checkpoint artifact store: sampled jobs download the sweep's shared
+// warm state from the server (or generate and push it back) instead of
+// re-warming per cell. -parallel is how many jobs run concurrently
+// (default: GOMAXPROCS).
 //
 // On SIGTERM/SIGINT the worker drains: it stops taking leases, finishes
 // and uploads in-flight jobs, then deregisters. A second signal aborts
@@ -40,6 +43,7 @@ func main() {
 	server := flag.String("server", "http://localhost:8080", "sdiqd base URL")
 	name := flag.String("name", "", "worker name (default: hostname)")
 	scratch := flag.String("scratch", "", "local result cache directory (recommended)")
+	ckptDir := flag.String("ckpt", "", "local checkpoint artifact store directory")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent jobs")
 	flag.Parse()
 
@@ -50,6 +54,7 @@ func main() {
 		Server:      *server,
 		Name:        *name,
 		Scratch:     *scratch,
+		Ckpt:        *ckptDir,
 		Concurrency: *parallel,
 		Logf:        log.Printf,
 	}

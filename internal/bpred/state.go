@@ -1,0 +1,120 @@
+// Warm-state cloning and serialization for the checkpoint store
+// (internal/ckpt), mirroring internal/cache: Clone serves the
+// fork-per-window sampled engine, MarshalState/UnmarshalState the
+// on-disk artifact. The serialized state is everything a restored
+// predictor needs to behave bit-identically — component counters,
+// chooser, global history, BTB contents with LRU clocks, and the
+// return-address stack. Stats are measurements, not state, and are
+// excluded.
+package bpred
+
+import (
+	"fmt"
+
+	"repro/internal/binio"
+)
+
+// WithDefaults resolves zero fields to the paper's table 1
+// configuration — the same resolution New applies — so configurations
+// that build identical predictors compare (and key) identically.
+func (c Config) WithDefaults() Config {
+	c.fill()
+	return c
+}
+
+// Clone returns an independent deep copy of the predictor.
+func (p *Predictor) Clone() *Predictor {
+	cp := *p
+	cp.gshare = append([]uint8(nil), p.gshare...)
+	cp.bimodal = append([]uint8(nil), p.bimodal...)
+	cp.selector = append([]uint8(nil), p.selector...)
+	cp.btb = append([]btbEntry(nil), p.btb...)
+	cp.ras = append([]int(nil), p.ras...)
+	return &cp
+}
+
+// MarshalState serializes the predictor's warm state.
+func (p *Predictor) MarshalState() []byte {
+	var w binio.Writer
+	w.U32(uint32(len(p.gshare)))
+	w.Raw(p.gshare)
+	w.U32(uint32(len(p.bimodal)))
+	w.Raw(p.bimodal)
+	w.U32(uint32(len(p.selector)))
+	w.Raw(p.selector)
+	w.U64(p.history)
+	w.U32(uint32(len(p.btb)))
+	for i := range p.btb {
+		e := &p.btb[i]
+		w.Bool(e.valid)
+		w.U64(e.tag)
+		w.I64(int64(e.target))
+		w.I64(e.lru)
+	}
+	w.U32(uint32(len(p.ras)))
+	for _, v := range p.ras {
+		w.I64(int64(v))
+	}
+	w.I64(p.tick)
+	return w.Bytes()
+}
+
+// UnmarshalState restores state serialized by MarshalState into a
+// predictor built from the same configuration. Stats are reset.
+func (p *Predictor) UnmarshalState(data []byte) error {
+	r := binio.NewReader(data)
+	readTable := func(name string, dst []uint8) error {
+		n := int(r.U32())
+		if err := r.Err(); err != nil {
+			return err
+		}
+		if n != len(dst) {
+			return fmt.Errorf("bpred: serialized %s has %d entries, predictor has %d", name, n, len(dst))
+		}
+		copy(dst, r.Raw(n))
+		return r.Err()
+	}
+	if err := readTable("gshare", p.gshare); err != nil {
+		return err
+	}
+	if err := readTable("bimodal", p.bimodal); err != nil {
+		return err
+	}
+	if err := readTable("selector", p.selector); err != nil {
+		return err
+	}
+	history := r.U64()
+	nbtb := int(r.U32())
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if nbtb != len(p.btb) {
+		return fmt.Errorf("bpred: serialized BTB has %d entries, predictor has %d", nbtb, len(p.btb))
+	}
+	for i := 0; i < nbtb; i++ {
+		p.btb[i] = btbEntry{valid: r.Bool(), tag: r.U64(), target: int(r.I64()), lru: r.I64()}
+	}
+	nras := int(r.U32())
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if nras > p.cfg.RASEntries {
+		return fmt.Errorf("bpred: serialized RAS depth %d exceeds capacity %d", nras, p.cfg.RASEntries)
+	}
+	ras := make([]int, nras)
+	for i := range ras {
+		ras[i] = int(r.I64())
+	}
+	tick := r.I64()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if r.Remaining() != 0 {
+		return fmt.Errorf("bpred: %d trailing bytes after predictor state", r.Remaining())
+	}
+	p.history = history
+	p.ras = ras
+	p.tick = tick
+	p.Stats = Stats{}
+	return nil
+}

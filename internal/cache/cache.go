@@ -160,19 +160,7 @@ func DefaultHierarchyConfig() HierarchyConfig {
 
 // NewHierarchy builds the memory system.
 func NewHierarchy(cfg HierarchyConfig) (*Hierarchy, error) {
-	d := DefaultHierarchyConfig()
-	if cfg.IL1.SizeBytes == 0 {
-		cfg.IL1 = d.IL1
-	}
-	if cfg.DL1.SizeBytes == 0 {
-		cfg.DL1 = d.DL1
-	}
-	if cfg.L2.SizeBytes == 0 {
-		cfg.L2 = d.L2
-	}
-	if cfg.MemCycles == 0 {
-		cfg.MemCycles = d.MemCycles
-	}
+	cfg = cfg.WithDefaults()
 	il1, err := New(cfg.IL1)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,124 @@
+// Warm-state cloning and serialization for the checkpoint store
+// (internal/ckpt): a sampled run's functional warming leaves the
+// hierarchy in a state that is expensive to recompute and cheap to
+// snapshot. Clone serves the in-process fork-per-window engine;
+// MarshalState/UnmarshalState serve the on-disk artifact. Both carry
+// the complete microarchitectural state — every line's valid/tag/lru
+// plus the LRU tick — so a restored hierarchy behaves bit-identically
+// to the original under any subsequent access sequence.
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/binio"
+)
+
+// WithDefaults resolves zero-valued levels to table 1 (the same
+// resolution NewHierarchy applies), so two configs that build identical
+// hierarchies serialize identically — the property checkpoint keying
+// needs.
+func (cfg HierarchyConfig) WithDefaults() HierarchyConfig {
+	d := DefaultHierarchyConfig()
+	if cfg.IL1.SizeBytes == 0 {
+		cfg.IL1 = d.IL1
+	}
+	if cfg.DL1.SizeBytes == 0 {
+		cfg.DL1 = d.DL1
+	}
+	if cfg.L2.SizeBytes == 0 {
+		cfg.L2 = d.L2
+	}
+	if cfg.MemCycles == 0 {
+		cfg.MemCycles = d.MemCycles
+	}
+	return cfg
+}
+
+// Clone returns an independent deep copy of the cache: later accesses
+// to either do not affect the other.
+func (c *Cache) Clone() *Cache {
+	cp := *c
+	cp.lines = append([]line(nil), c.lines...)
+	return &cp
+}
+
+// Clone returns an independent deep copy of the hierarchy.
+func (h *Hierarchy) Clone() *Hierarchy {
+	return &Hierarchy{
+		IL1:       h.IL1.Clone(),
+		DL1:       h.DL1.Clone(),
+		L2:        h.L2.Clone(),
+		MemCycles: h.MemCycles,
+	}
+}
+
+// appendState writes the cache's mutable state plus a geometry
+// fingerprint, so a restore into a differently-shaped cache fails
+// loudly instead of silently misplacing lines.
+func (c *Cache) appendState(w *binio.Writer) {
+	w.U32(uint32(c.sets))
+	w.U32(uint32(c.cfg.Assoc))
+	w.U32(uint32(c.cfg.LineBytes))
+	w.I64(c.tick)
+	w.U32(uint32(len(c.lines)))
+	for i := range c.lines {
+		ln := &c.lines[i]
+		w.Bool(ln.valid)
+		w.U64(ln.tag)
+		w.I64(ln.lru)
+	}
+}
+
+// readState restores the cache's mutable state, validating the geometry
+// fingerprint against this cache's configuration.
+func (c *Cache) readState(r *binio.Reader) error {
+	sets, assoc, lineBytes := int(r.U32()), int(r.U32()), int(r.U32())
+	tick := r.I64()
+	n := int(r.U32())
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if sets != c.sets || assoc != c.cfg.Assoc || lineBytes != c.cfg.LineBytes || n != len(c.lines) {
+		return fmt.Errorf("cache %s: serialized geometry %dx%d/%dB (%d lines) does not match %dx%d/%dB (%d lines)",
+			c.cfg.Name, sets, assoc, lineBytes, n, c.sets, c.cfg.Assoc, c.cfg.LineBytes, len(c.lines))
+	}
+	for i := 0; i < n; i++ {
+		c.lines[i] = line{valid: r.Bool(), tag: r.U64(), lru: r.I64()}
+	}
+	if err := r.Err(); err != nil {
+		return err
+	}
+	c.tick = tick
+	return nil
+}
+
+// MarshalState serializes the hierarchy's warm state (all three levels'
+// lines and LRU clocks; Stats are not state and are excluded).
+func (h *Hierarchy) MarshalState() []byte {
+	var w binio.Writer
+	h.IL1.appendState(&w)
+	h.DL1.appendState(&w)
+	h.L2.appendState(&w)
+	return w.Bytes()
+}
+
+// UnmarshalState restores warm state serialized by MarshalState into a
+// hierarchy built from the same configuration. Stats are reset.
+func (h *Hierarchy) UnmarshalState(data []byte) error {
+	r := binio.NewReader(data)
+	if err := h.IL1.readState(r); err != nil {
+		return fmt.Errorf("cache: restore IL1: %w", err)
+	}
+	if err := h.DL1.readState(r); err != nil {
+		return fmt.Errorf("cache: restore DL1: %w", err)
+	}
+	if err := h.L2.readState(r); err != nil {
+		return fmt.Errorf("cache: restore L2: %w", err)
+	}
+	if r.Remaining() != 0 {
+		return fmt.Errorf("cache: %d trailing bytes after hierarchy state", r.Remaining())
+	}
+	h.IL1.Stats, h.DL1.Stats, h.L2.Stats = Stats{}, Stats{}, Stats{}
+	return nil
+}

@@ -1,0 +1,125 @@
+package cache
+
+import (
+	"bytes"
+	"testing"
+)
+
+// warmed builds a default hierarchy and drives a deterministic mixed
+// access pattern through the warm paths.
+func warmed(t *testing.T) *Hierarchy {
+	t.Helper()
+	h, err := NewHierarchy(HierarchyConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4000; i++ {
+		h.WarmLoad(uint64(0x10_0000 + 64*i*(i%7+1)))
+		h.WarmStore(uint64(0x40_0000 + 32*i))
+		h.WarmFetch((i * 13) % 5000)
+	}
+	return h
+}
+
+func TestStateRoundTrip(t *testing.T) {
+	h := warmed(t)
+	data := h.MarshalState()
+
+	fresh, err := NewHierarchy(HierarchyConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.UnmarshalState(data); err != nil {
+		t.Fatal(err)
+	}
+	// The restored state must re-serialize byte-identically — the
+	// property resume bit-identity rests on.
+	if !bytes.Equal(fresh.MarshalState(), data) {
+		t.Fatal("restored hierarchy re-serializes differently")
+	}
+	// And must behave identically: the same access stream produces the
+	// same hits/misses, hence the same subsequent state.
+	for i := 0; i < 1000; i++ {
+		addr := uint64(0x10_0000 + 64*i*3)
+		if a, b := h.LoadLatency(addr), fresh.LoadLatency(addr); a != b {
+			t.Fatalf("access %d: latency %d on original, %d on restored", i, a, b)
+		}
+	}
+	if !bytes.Equal(h.MarshalState(), fresh.MarshalState()) {
+		t.Fatal("original and restored diverged under identical accesses")
+	}
+}
+
+func TestCloneIsolation(t *testing.T) {
+	h := warmed(t)
+	snap := h.MarshalState()
+	c := h.Clone()
+	if !bytes.Equal(c.MarshalState(), snap) {
+		t.Fatal("clone does not match original")
+	}
+	// Mutating the original must not leak into the clone, and vice versa.
+	for i := 0; i < 2000; i++ {
+		h.WarmLoad(uint64(0x90_0000 + 64*i))
+	}
+	if !bytes.Equal(c.MarshalState(), snap) {
+		t.Fatal("mutating the original changed the clone")
+	}
+	for i := 0; i < 2000; i++ {
+		c.WarmFetch(9000 + i)
+	}
+	if bytes.Equal(c.MarshalState(), snap) {
+		t.Fatal("mutating the clone had no effect (shared storage?)")
+	}
+}
+
+func TestUnmarshalStateGeometryMismatch(t *testing.T) {
+	h := warmed(t)
+	data := h.MarshalState()
+
+	cfg := DefaultHierarchyConfig()
+	cfg.DL1.SizeBytes *= 2
+	bigger, err := NewHierarchy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bigger.UnmarshalState(data); err == nil {
+		t.Fatal("state restored into a differently-shaped hierarchy")
+	}
+}
+
+func TestUnmarshalStateCorrupt(t *testing.T) {
+	h := warmed(t)
+	data := h.MarshalState()
+	fresh, err := NewHierarchy(HierarchyConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.UnmarshalState(data[:len(data)/2]); err == nil {
+		t.Error("truncated state accepted")
+	}
+	if err := fresh.UnmarshalState(append(append([]byte(nil), data...), 0xff)); err == nil {
+		t.Error("trailing garbage accepted")
+	}
+	if err := fresh.UnmarshalState(nil); err == nil {
+		t.Error("empty state accepted")
+	}
+}
+
+// TestStateExcludesStats: statistics are measurements, not state — they
+// must neither serialize nor survive a restore.
+func TestStateExcludesStats(t *testing.T) {
+	h := warmed(t)
+	h.DL1.Stats = Stats{Accesses: 999, Misses: 42}
+	withStats := h.MarshalState()
+	h2 := warmed(t)
+	if !bytes.Equal(withStats, h2.MarshalState()) {
+		t.Fatal("statistics leaked into serialized warm state")
+	}
+	fresh, _ := NewHierarchy(HierarchyConfig{})
+	if err := fresh.UnmarshalState(withStats); err != nil {
+		t.Fatal(err)
+	}
+	if fresh.DL1.Stats.Accesses != 0 {
+		t.Fatalf("restored hierarchy carries %d DL1 accesses", fresh.DL1.Stats.Accesses)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"sync"
 
+	"repro/internal/ckpt"
 	"repro/internal/power"
 )
 
@@ -57,6 +58,11 @@ type Engine struct {
 	// the runner's job (the service dispatcher gates its local fallback
 	// with the same shared Gate).
 	Runner Runner
+	// Ckpt, when non-nil, is the checkpoint artifact store inline
+	// executions run against (ExecuteStored): sampled cells of a sweep
+	// share one warming pass per CheckpointKey instead of each
+	// recomputing it. A Runner is expected to carry its own store.
+	Ckpt *ckpt.Store
 }
 
 // jobQueue is one worker's share of the campaign. The owner pops from
@@ -228,7 +234,7 @@ func (e *Engine) Run(ctx context.Context, spec Spec) (*ResultSet, error) {
 				e.OnJobStart(*job)
 				mu.Unlock()
 			}
-			res, err := Execute(ctx, job)
+			res, err := ExecuteStored(ctx, job, e.Ckpt)
 			if err != nil {
 				return res, err
 			}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/ckpt"
 	"repro/internal/core"
 	"repro/internal/prog"
 	"repro/internal/sample"
@@ -111,7 +112,16 @@ func Prepare(job *Job) (*prog.Program, Result, error) {
 // mid-run, so cancellation takes effect mid-job, not just between jobs.
 // The result's StartedAt/FinishedAt bracket the whole execution (UTC,
 // monotonic-free so they JSON-roundtrip exactly).
-func Execute(ctx context.Context, job *Job) (res Result, err error) {
+func Execute(ctx context.Context, job *Job) (Result, error) {
+	return ExecuteStored(ctx, job, nil)
+}
+
+// ExecuteStored is Execute with a checkpoint store attached: a sampled
+// job resumes its detailed windows from the store's artifact when one
+// exists under the job's CheckpointKey, and generates it write-through
+// otherwise. Results are bit-identical either way; a nil store simply
+// runs everything warm-from-scratch.
+func ExecuteStored(ctx context.Context, job *Job, store *ckpt.Store) (res Result, err error) {
 	if err := ctx.Err(); err != nil {
 		return Result{Bench: job.Bench, Tech: job.Tech, Point: job.Point}, err
 	}
@@ -125,7 +135,12 @@ func Execute(ctx context.Context, job *Job) (res Result, err error) {
 		return res, err
 	}
 	if job.Sampling != nil {
-		rep, err := sample.Run(ctx, job.Config, p, job.Budget, job.Sampling.engineConfig())
+		var key string
+		if store != nil {
+			// An unkeyable job still runs; it just can't share warm state.
+			key, _ = CheckpointKey(job)
+		}
+		rep, err := sample.RunStored(ctx, job.Config, p, job.Budget, job.Sampling.engineConfig(), store, key)
 		if err != nil {
 			return res, fmt.Errorf("%s: %w", job.ID(), err)
 		}

@@ -1,0 +1,371 @@
+package ckpt
+
+import (
+	"bytes"
+	"compress/gzip"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/binio"
+	"repro/internal/bpred"
+	"repro/internal/cache"
+	"repro/internal/emu"
+	"repro/internal/prog"
+)
+
+// Artifact container: gzip over a record stream. Each record is a
+// one-byte tag plus a u32-length-prefixed binio payload, so a reader
+// holds exactly one window's state in memory at a time — the fix for
+// the unbounded rep.Checkpoints accumulation the in-memory predecessor
+// suffered from.
+const (
+	artifactMagic   = "SDIQCKP1"
+	artifactVersion = 1
+
+	recWindow  = 1
+	recTrailer = 2
+
+	// maxRecordBytes bounds a single record so a corrupt length prefix
+	// cannot ask for an absurd allocation. Checkpoints are dominated by
+	// the benchmark's mapped pages; the synthetic workloads sit far
+	// below this.
+	maxRecordBytes = 1 << 30
+)
+
+// Window is one sampling window's resume state: everything a detailed
+// window needs to run bit-identically to the generating pass —
+// architectural checkpoint, warm hierarchy and predictor, the active
+// IQ hint, and the window's position in the committed-instruction
+// stream.
+type Window struct {
+	// StartReal is the committed real (non-hint) instruction count at
+	// the window start; the resume path derives the window's detailed
+	// length from it exactly as the generate path did.
+	StartReal int64
+	// LastHint is the most recent issue-queue hint at the window start
+	// (Core.PresetHint input).
+	LastHint int
+	// Ckpt is the architectural state at the window start.
+	Ckpt emu.Checkpoint
+	// Mem and Bp are the functionally-warmed microarchitectural state at
+	// the window start. The consumer owns them (they are rebuilt per
+	// record on read, cloned on write).
+	Mem *cache.Hierarchy
+	Bp  *bpred.Predictor
+}
+
+// Trailer closes an artifact with the generating run's phase totals, so
+// a resumed run reports the same instruction accounting without ever
+// touching the functional stream.
+type Trailer struct {
+	TotalReal       int64
+	WarmedReal      int64
+	FastForwardReal int64
+	Windows         int
+}
+
+// Writer streams an artifact to disk; Commit publishes it atomically,
+// anything less leaves no trace. Create one via Store.Create.
+type Writer struct {
+	s     *Store
+	key   string
+	f     *os.File
+	gz    *gzip.Writer
+	n     int
+	done  bool
+	wrote countingWriter
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// Create starts a new artifact for key. The budget is recorded in the
+// header as a sanity cross-check for resumers. A nil store returns
+// (nil, nil); callers treat a nil writer as "not recording".
+func (s *Store) Create(key string, budget int64) (*Writer, error) {
+	if s == nil {
+		return nil, nil
+	}
+	p := s.path(key)
+	if p == "" {
+		return nil, fmt.Errorf("ckpt: invalid key %q", key)
+	}
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return nil, err
+	}
+	f, err := os.CreateTemp(s.dir, "gen-*")
+	if err != nil {
+		return nil, err
+	}
+	w := &Writer{s: s, key: key, f: f}
+	w.wrote = countingWriter{w: f}
+	w.gz, _ = gzip.NewWriterLevel(&w.wrote, gzip.BestSpeed)
+	var hdr binio.Writer
+	hdr.Raw([]byte(artifactMagic))
+	hdr.U32(artifactVersion)
+	hdr.I64(budget)
+	if _, err := w.gz.Write(hdr.Bytes()); err != nil {
+		discard(f)
+		return nil, err
+	}
+	return w, nil
+}
+
+// record writes one tagged, length-prefixed payload.
+func (w *Writer) record(tag uint8, payload []byte) error {
+	var hdr binio.Writer
+	hdr.U8(tag)
+	hdr.U32(uint32(len(payload)))
+	if _, err := w.gz.Write(hdr.Bytes()); err != nil {
+		return err
+	}
+	_, err := w.gz.Write(payload)
+	return err
+}
+
+// Append adds one window's resume state.
+func (w *Writer) Append(win *Window) error {
+	ck, err := win.Ckpt.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	mem := win.Mem.MarshalState()
+	bp := win.Bp.MarshalState()
+	var b binio.Writer
+	b.I64(win.StartReal)
+	b.I64(int64(win.LastHint))
+	b.U32(uint32(len(ck)))
+	b.Raw(ck)
+	b.U32(uint32(len(mem)))
+	b.Raw(mem)
+	b.U32(uint32(len(bp)))
+	b.Raw(bp)
+	w.n++
+	return w.record(recWindow, b.Bytes())
+}
+
+// Commit writes the trailer, finishes the stream and atomically
+// publishes the artifact under its key.
+func (w *Writer) Commit(tr Trailer) error {
+	if w.done {
+		return errors.New("ckpt: writer already finished")
+	}
+	w.done = true
+	tr.Windows = w.n
+	var b binio.Writer
+	b.I64(tr.TotalReal)
+	b.I64(tr.WarmedReal)
+	b.I64(tr.FastForwardReal)
+	b.U32(uint32(tr.Windows))
+	if err := w.record(recTrailer, b.Bytes()); err != nil {
+		discard(w.f)
+		return err
+	}
+	if err := w.gz.Close(); err != nil {
+		discard(w.f)
+		return err
+	}
+	if err := w.f.Close(); err != nil {
+		os.Remove(w.f.Name())
+		return err
+	}
+	if err := os.Rename(w.f.Name(), w.s.path(w.key)); err != nil {
+		os.Remove(w.f.Name())
+		return err
+	}
+	w.s.generated.Add(1)
+	w.s.bytesWritten.Add(w.wrote.n)
+	return nil
+}
+
+// Abort abandons the artifact; the store is left as if Create never
+// happened. Safe after Commit (no-op) and on a nil writer.
+func (w *Writer) Abort() {
+	if w == nil || w.done {
+		return
+	}
+	w.done = true
+	discard(w.f)
+}
+
+// Reader consumes a published artifact window by window. Create one via
+// Store.OpenArtifact.
+type Reader struct {
+	f       *os.File
+	gz      *gzip.Reader
+	prog    *prog.Program
+	ccfg    cache.HierarchyConfig
+	bcfg    bpred.Config
+	budget  int64
+	trailer *Trailer
+	read    int
+}
+
+// OpenArtifact opens the artifact for key and prepares to deserialize
+// its windows against the given program and configuration. A missing
+// artifact returns an error wrapping fs.ErrNotExist and counts a store
+// miss; an open counts a hit. A nil store always misses.
+func (s *Store) OpenArtifact(key string, p *prog.Program, ccfg cache.HierarchyConfig, bcfg bpred.Config) (*Reader, error) {
+	if s == nil {
+		return nil, os.ErrNotExist
+	}
+	path := s.path(key)
+	if path == "" {
+		return nil, os.ErrNotExist
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			s.misses.Add(1)
+		}
+		return nil, err
+	}
+	if info, err := f.Stat(); err == nil {
+		s.bytesRead.Add(info.Size())
+	}
+	gz, err := gzip.NewReader(f)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("ckpt: %s: %w", key, err)
+	}
+	r := &Reader{f: f, gz: gz, prog: p, ccfg: ccfg, bcfg: bcfg}
+	hdr := make([]byte, len(artifactMagic)+4+8)
+	if _, err := io.ReadFull(gz, hdr); err != nil {
+		r.Close()
+		return nil, fmt.Errorf("ckpt: %s: short header: %w", key, err)
+	}
+	b := binio.NewReader(hdr)
+	if string(b.Raw(len(artifactMagic))) != artifactMagic {
+		r.Close()
+		return nil, fmt.Errorf("ckpt: %s: bad artifact magic", key)
+	}
+	if v := b.U32(); v != artifactVersion {
+		r.Close()
+		return nil, fmt.Errorf("ckpt: %s: artifact version %d, want %d", key, v, artifactVersion)
+	}
+	r.budget = b.I64()
+	s.hits.Add(1)
+	return r, nil
+}
+
+// Budget returns the generating run's instruction budget (header field).
+func (r *Reader) Budget() int64 { return r.budget }
+
+// Next returns the next window, or io.EOF after the trailer.
+func (r *Reader) Next() (*Window, error) {
+	if r.trailer != nil {
+		return nil, io.EOF
+	}
+	hdr := make([]byte, 5)
+	if _, err := io.ReadFull(r.gz, hdr); err != nil {
+		return nil, fmt.Errorf("ckpt: truncated artifact (no trailer): %w", err)
+	}
+	h := binio.NewReader(hdr)
+	tag := h.U8()
+	n := int(h.U32())
+	if n < 0 || n > maxRecordBytes {
+		return nil, fmt.Errorf("ckpt: implausible record size %d", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r.gz, payload); err != nil {
+		return nil, fmt.Errorf("ckpt: truncated record: %w", err)
+	}
+	b := binio.NewReader(payload)
+	switch tag {
+	case recTrailer:
+		tr := Trailer{
+			TotalReal:       b.I64(),
+			WarmedReal:      b.I64(),
+			FastForwardReal: b.I64(),
+			Windows:         int(b.U32()),
+		}
+		if err := b.Err(); err != nil {
+			return nil, err
+		}
+		if tr.Windows != r.read {
+			return nil, fmt.Errorf("ckpt: trailer records %d windows, artifact held %d", tr.Windows, r.read)
+		}
+		r.trailer = &tr
+		return nil, io.EOF
+	case recWindow:
+		win := &Window{StartReal: b.I64(), LastHint: int(b.I64())}
+		ckBytes := b.Raw(int(b.U32()))
+		memBytes := b.Raw(int(b.U32()))
+		bpBytes := b.Raw(int(b.U32()))
+		if err := b.Err(); err != nil {
+			return nil, err
+		}
+		ck, err := emu.UnmarshalCheckpoint(ckBytes, r.prog)
+		if err != nil {
+			return nil, err
+		}
+		win.Ckpt = ck
+		mem, err := cache.NewHierarchy(r.ccfg)
+		if err != nil {
+			return nil, err
+		}
+		if err := mem.UnmarshalState(memBytes); err != nil {
+			return nil, err
+		}
+		win.Mem = mem
+		bp := bpred.New(r.bcfg)
+		if err := bp.UnmarshalState(bpBytes); err != nil {
+			return nil, err
+		}
+		win.Bp = bp
+		r.read++
+		return win, nil
+	default:
+		return nil, fmt.Errorf("ckpt: unknown record tag %d", tag)
+	}
+}
+
+// Trailer returns the artifact's trailer; ok is false until Next has
+// returned io.EOF.
+func (r *Reader) Trailer() (Trailer, bool) {
+	if r.trailer == nil {
+		return Trailer{}, false
+	}
+	return *r.trailer, true
+}
+
+// Close releases the reader.
+func (r *Reader) Close() error {
+	if r.gz != nil {
+		r.gz.Close()
+	}
+	return r.f.Close()
+}
+
+// checkContainer validates that data parses as an artifact container
+// header (gzip + magic + version) before WriteRaw publishes it.
+func checkContainer(data []byte) error {
+	gz, err := gzip.NewReader(bytes.NewReader(data))
+	if err != nil {
+		return fmt.Errorf("ckpt: upload is not an artifact: %w", err)
+	}
+	defer gz.Close()
+	hdr := make([]byte, len(artifactMagic)+4)
+	if _, err := io.ReadFull(gz, hdr); err != nil {
+		return fmt.Errorf("ckpt: upload header: %w", err)
+	}
+	if string(hdr[:len(artifactMagic)]) != artifactMagic {
+		return errors.New("ckpt: upload has wrong artifact magic")
+	}
+	b := binio.NewReader(hdr[len(artifactMagic):])
+	if v := b.U32(); v != artifactVersion {
+		return fmt.Errorf("ckpt: upload artifact version %d, want %d", v, artifactVersion)
+	}
+	return nil
+}

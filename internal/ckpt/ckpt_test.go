@@ -1,0 +1,368 @@
+package ckpt
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/bpred"
+	"repro/internal/cache"
+	"repro/internal/emu"
+	"repro/internal/prog"
+	"repro/internal/workload"
+)
+
+const testKey = "0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef"
+
+// buildState fabricates realistic window state: a genuinely-executed
+// emulator checkpoint plus warmed hierarchy and predictor.
+func buildState(t *testing.T, steps int) (*prog.Program, emu.Checkpoint, *cache.Hierarchy, *bpred.Predictor, cache.HierarchyConfig, bpred.Config) {
+	t.Helper()
+	b, ok := workload.ByName("gzip")
+	if !ok {
+		t.Fatal("no gzip workload")
+	}
+	p := b.Build(42)
+	e, err := emu.New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Restart = true
+	for i := 0; i < steps; i++ {
+		if _, ok := e.Next(); !ok {
+			t.Fatal("emulator halted early")
+		}
+	}
+	ccfg := cache.HierarchyConfig{}.WithDefaults()
+	h, err := cache.NewHierarchy(ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bcfg := bpred.Config{}.WithDefaults()
+	bp := bpred.New(bcfg)
+	for i := 0; i < 500; i++ {
+		h.WarmLoad(uint64(0x1000 + 64*i))
+		h.WarmFetch(i % 97)
+		bp.TrainCond(i%311, i%3 == 0)
+		bp.UpdateBTB(i%311, (i*7)%1024)
+	}
+	return p, e.Checkpoint(), h, bp, ccfg, bcfg
+}
+
+func TestOpenEmptyAndNilStore(t *testing.T) {
+	s, err := Open("")
+	if err != nil || s != nil {
+		t.Fatalf("Open(\"\") = %v, %v; want nil, nil", s, err)
+	}
+	// Every method must be nil-safe: checkpointing off is a nil store.
+	if s.Has(testKey) {
+		t.Error("nil store claims an artifact")
+	}
+	s.Lock(testKey)() // must not panic
+	if s.Remove(testKey) {
+		t.Error("nil store removed something")
+	}
+	if _, err := s.ReadRaw(testKey); !errors.Is(err, fs.ErrNotExist) {
+		t.Errorf("nil ReadRaw err = %v", err)
+	}
+	if w, err := s.Create(testKey, 1000); w != nil || err != nil {
+		t.Errorf("nil Create = %v, %v", w, err)
+	}
+	if _, err := s.OpenArtifact(testKey, nil, cache.HierarchyConfig{}, bpred.Config{}); !errors.Is(err, fs.ErrNotExist) {
+		t.Errorf("nil OpenArtifact err = %v", err)
+	}
+	if m := s.Metrics(); m != (Metrics{}) {
+		t.Errorf("nil Metrics = %+v", m)
+	}
+	if a, b := s.DiskStat(); a != 0 || b != 0 {
+		t.Errorf("nil DiskStat = %d, %d", a, b)
+	}
+	var nilW *Writer
+	nilW.Abort() // must not panic
+}
+
+func TestArtifactRoundTrip(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, ck, h, bp, ccfg, bcfg := buildState(t, 2000)
+
+	w, err := st.Create(testKey, 50_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wins := []Window{
+		{StartReal: 1000, LastHint: 0, Ckpt: ck, Mem: h.Clone(), Bp: bp.Clone()},
+		{StartReal: 6000, LastHint: 3, Ckpt: ck, Mem: h.Clone(), Bp: bp.Clone()},
+		{StartReal: 11000, LastHint: 1, Ckpt: ck, Mem: h.Clone(), Bp: bp.Clone()},
+	}
+	for i := range wins {
+		if err := w.Append(&wins[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st.Has(testKey) {
+		t.Fatal("artifact visible before Commit")
+	}
+	tr := Trailer{TotalReal: 50_000, WarmedReal: 9_000, FastForwardReal: 38_000}
+	if err := w.Commit(tr); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Has(testKey) {
+		t.Fatal("artifact not published after Commit")
+	}
+
+	r, err := st.OpenArtifact(testKey, p, ccfg, bcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Budget() != 50_000 {
+		t.Errorf("Budget = %d, want 50000", r.Budget())
+	}
+	for i := range wins {
+		got, err := r.Next()
+		if err != nil {
+			t.Fatalf("window %d: %v", i, err)
+		}
+		if got.StartReal != wins[i].StartReal || got.LastHint != wins[i].LastHint {
+			t.Errorf("window %d: got (%d,%d), want (%d,%d)",
+				i, got.StartReal, got.LastHint, wins[i].StartReal, wins[i].LastHint)
+		}
+		if !got.Ckpt.Equal(&wins[i].Ckpt) {
+			t.Errorf("window %d: checkpoint round-trip differs", i)
+		}
+		if !bytes.Equal(got.Mem.MarshalState(), wins[i].Mem.MarshalState()) {
+			t.Errorf("window %d: hierarchy state round-trip differs", i)
+		}
+		if !bytes.Equal(got.Bp.MarshalState(), wins[i].Bp.MarshalState()) {
+			t.Errorf("window %d: predictor state round-trip differs", i)
+		}
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("after last window: %v, want io.EOF", err)
+	}
+	gotTr, ok := r.Trailer()
+	if !ok || gotTr.TotalReal != tr.TotalReal || gotTr.WarmedReal != tr.WarmedReal ||
+		gotTr.FastForwardReal != tr.FastForwardReal || gotTr.Windows != len(wins) {
+		t.Errorf("trailer = %+v (ok=%v), want %+v with %d windows", gotTr, ok, tr, len(wins))
+	}
+
+	m := st.Metrics()
+	if m.Generated != 1 || m.Hits != 1 || m.BytesWritten == 0 || m.BytesRead == 0 {
+		t.Errorf("metrics = %+v", m)
+	}
+}
+
+// TestOpenArtifactGeometryMismatch: resuming against a different cache
+// geometry must fail loudly, never deserialize into the wrong shape.
+func TestOpenArtifactGeometryMismatch(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, ck, h, bp, ccfg, bcfg := buildState(t, 500)
+	w, err := st.Create(testKey, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(&Window{StartReal: 100, Ckpt: ck, Mem: h, Bp: bp}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Commit(Trailer{TotalReal: 10_000}); err != nil {
+		t.Fatal(err)
+	}
+	wrong := ccfg
+	wrong.L2.SizeBytes = ccfg.L2.SizeBytes * 2
+	r, err := st.OpenArtifact(testKey, p, wrong, bcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if _, err := r.Next(); err == nil {
+		t.Fatal("mismatched geometry deserialized without error")
+	}
+}
+
+func TestWriteRawValidation(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.WriteRaw(testKey, []byte("garbage")); err == nil {
+		t.Fatal("garbage accepted as artifact")
+	}
+	if st.Has(testKey) {
+		t.Fatal("garbage published")
+	}
+
+	// A real artifact's bytes must install under another key (the
+	// worker-upload path) ...
+	p, ck, h, bp, ccfg, bcfg := buildState(t, 500)
+	w, _ := st.Create(testKey, 10_000)
+	if err := w.Append(&Window{StartReal: 1, Ckpt: ck, Mem: h, Bp: bp}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Commit(Trailer{TotalReal: 10_000}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := st.ReadRaw(testKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := "abcdabcdabcdabcdabcdabcdabcdabcd"
+	if err := st.WriteRaw(other, data); err != nil {
+		t.Fatal(err)
+	}
+	r, err := st.OpenArtifact(other, p, ccfg, bcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+
+	// ... and an already-present key is first-writer-wins: a second
+	// write is a silent no-op, never an overwrite.
+	before, _ := os.Stat(filepath.Join(st.Dir(), other[:2], other+".ckpt"))
+	if err := st.WriteRaw(other, data); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := os.Stat(filepath.Join(st.Dir(), other[:2], other+".ckpt"))
+	if !after.ModTime().Equal(before.ModTime()) || after.Size() != before.Size() {
+		t.Error("second WriteRaw overwrote an existing artifact")
+	}
+}
+
+// TestInvalidKeys: anything that is not lowercase hex of sane length —
+// e.g. a path-traversal attempt arriving over HTTP — must be rejected
+// before it reaches the filesystem.
+func TestInvalidKeys(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		"", "short", "../../../../etc/passwd", "ABCDEF0123456789",
+		"0123456789abcdeg", "0123/6789abcdef0",
+	} {
+		if st.Has(key) {
+			t.Errorf("Has(%q) = true", key)
+		}
+		if _, err := st.Create(key, 1); err == nil {
+			t.Errorf("Create(%q) accepted", key)
+		}
+		if err := st.WriteRaw(key, nil); err == nil {
+			t.Errorf("WriteRaw(%q) accepted", key)
+		}
+		if st.Remove(key) {
+			t.Errorf("Remove(%q) = true", key)
+		}
+	}
+}
+
+func TestRemoveAndDiskStat(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ck, h, bp, _, _ := buildState(t, 200)
+	keys := []string{testKey, "abcdabcdabcdabcdabcdabcdabcdabcd"}
+	for _, k := range keys {
+		w, err := st.Create(k, 1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Append(&Window{StartReal: 1, Ckpt: ck, Mem: h, Bp: bp}); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Commit(Trailer{TotalReal: 1000}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n, b := st.DiskStat(); n != 2 || b <= 0 {
+		t.Fatalf("DiskStat = %d artifacts, %d bytes; want 2, >0", n, b)
+	}
+	if !st.Remove(keys[0]) {
+		t.Fatal("Remove of existing artifact = false")
+	}
+	if st.Remove(keys[0]) {
+		t.Fatal("second Remove = true")
+	}
+	if n, _ := st.DiskStat(); n != 1 {
+		t.Fatalf("DiskStat after remove = %d, want 1", n)
+	}
+	if m := st.Metrics(); m.Evicted != 1 {
+		t.Errorf("Evicted = %d, want 1", m.Evicted)
+	}
+}
+
+// TestAbortLeavesNoTrace: an aborted generation must leave neither the
+// artifact nor temp litter behind.
+func TestAbortLeavesNoTrace(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ck, h, bp, _, _ := buildState(t, 200)
+	w, err := st.Create(testKey, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(&Window{StartReal: 1, Ckpt: ck, Mem: h, Bp: bp}); err != nil {
+		t.Fatal(err)
+	}
+	w.Abort()
+	w.Abort() // idempotent
+	if st.Has(testKey) {
+		t.Fatal("aborted artifact published")
+	}
+	tmps, _ := filepath.Glob(filepath.Join(dir, "gen-*"))
+	if len(tmps) != 0 {
+		t.Fatalf("temp files left behind: %v", tmps)
+	}
+}
+
+// TestLockSerializes: two claimants of one key must never hold the
+// generation lock at once.
+func TestLockSerializes(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var inside, maxInside int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			unlock := st.Lock(testKey)
+			mu.Lock()
+			inside++
+			if inside > maxInside {
+				maxInside = inside
+			}
+			mu.Unlock()
+			mu.Lock()
+			inside--
+			mu.Unlock()
+			unlock()
+		}()
+	}
+	wg.Wait()
+	if maxInside != 1 {
+		t.Fatalf("lock admitted %d holders at once", maxInside)
+	}
+	st.genMu.Lock()
+	leak := len(st.gen)
+	st.genMu.Unlock()
+	if leak != 0 {
+		t.Errorf("%d key locks leaked after release", leak)
+	}
+}

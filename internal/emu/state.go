@@ -1,0 +1,168 @@
+// Checkpoint serialization for the checkpoint store (internal/ckpt).
+// A Checkpoint holds a pointer into its program, so the wire form
+// carries only the architectural state; deserialization re-attaches a
+// program the caller rebuilt (deterministically, from the same
+// benchmark seed) and validates every control position against it. The
+// layout is fixed little-endian with sorted page keys, so identical
+// states serialize to identical bytes — the property the store's
+// content addressing and the bit-identity tests rely on.
+package emu
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/binio"
+	"repro/internal/prog"
+)
+
+// ckptMagic guards the checkpoint wire layout; bump it on any change.
+const ckptMagic uint32 = 0x534b_4331 // "SKC1"
+
+func appendPosition(w *binio.Writer, p position) {
+	w.I64(int64(p.proc))
+	w.I64(int64(p.block))
+	w.I64(int64(p.inst))
+}
+
+func readPosition(r *binio.Reader) position {
+	return position{proc: int(r.I64()), block: int(r.I64()), inst: int(r.I64())}
+}
+
+// validPosition reports whether pos addresses an instruction of p.
+func validPosition(p *prog.Program, pos position) bool {
+	if pos.proc < 0 || pos.proc >= len(p.Procs) {
+		return false
+	}
+	pr := p.Procs[pos.proc]
+	if pos.block < 0 || pos.block >= len(pr.Blocks) {
+		return false
+	}
+	return pos.inst >= 0 && pos.inst < len(pr.Blocks[pos.block].Insts)
+}
+
+// MarshalBinary serializes the checkpoint's architectural state. The
+// program is not included; UnmarshalCheckpoint re-attaches it.
+func (c *Checkpoint) MarshalBinary() ([]byte, error) {
+	var w binio.Writer
+	w.U32(ckptMagic)
+	for _, v := range c.iregs {
+		w.I64(v)
+	}
+	for _, v := range c.fregs {
+		w.F64(v)
+	}
+	appendPosition(&w, c.pos)
+	w.U32(uint32(len(c.stack)))
+	for _, pos := range c.stack {
+		appendPosition(&w, pos)
+	}
+	w.I64(c.seq)
+	w.Bool(c.halt)
+	keys := make([]uint64, 0, len(c.pages))
+	for k := range c.pages {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	w.U32(uint32(len(keys)))
+	for _, k := range keys {
+		w.U64(k)
+		pg := c.pages[k]
+		for _, word := range pg {
+			w.I64(word)
+		}
+	}
+	return w.Bytes(), nil
+}
+
+// UnmarshalCheckpoint deserializes a checkpoint and attaches it to the
+// given linked program, validating every control position against it.
+// The caller must rebuild the exact program the checkpoint was taken
+// from (same benchmark, same seed, same instrumentation); a structurally
+// incompatible program is rejected, but a same-shaped different program
+// would execute garbage — the store's content key is what rules that
+// out.
+func UnmarshalCheckpoint(data []byte, p *prog.Program) (Checkpoint, error) {
+	var c Checkpoint
+	if !p.Linked() {
+		return c, fmt.Errorf("emu: cannot attach checkpoint to unlinked program %q", p.Name)
+	}
+	r := binio.NewReader(data)
+	if m := r.U32(); m != ckptMagic {
+		return c, fmt.Errorf("emu: bad checkpoint magic %#x", m)
+	}
+	for i := range c.iregs {
+		c.iregs[i] = r.I64()
+	}
+	for i := range c.fregs {
+		c.fregs[i] = r.F64()
+	}
+	c.pos = readPosition(r)
+	nstack := int(r.U32())
+	if err := r.Err(); err != nil {
+		return Checkpoint{}, err
+	}
+	if nstack > 1<<20 {
+		return Checkpoint{}, fmt.Errorf("emu: implausible checkpoint stack depth %d", nstack)
+	}
+	c.stack = make([]position, nstack)
+	for i := range c.stack {
+		c.stack[i] = readPosition(r)
+	}
+	c.seq = r.I64()
+	c.halt = r.Bool()
+	npages := int(r.U32())
+	if err := r.Err(); err != nil {
+		return Checkpoint{}, err
+	}
+	if r.Remaining() < npages*(8+8*pageWords) {
+		return Checkpoint{}, binio.ErrCorrupt
+	}
+	c.pages = make(map[uint64]*[pageWords]int64, npages)
+	for i := 0; i < npages; i++ {
+		key := r.U64()
+		pg := new([pageWords]int64)
+		for j := range pg {
+			pg[j] = r.I64()
+		}
+		c.pages[key] = pg
+	}
+	if err := r.Err(); err != nil {
+		return Checkpoint{}, err
+	}
+	if r.Remaining() != 0 {
+		return Checkpoint{}, fmt.Errorf("emu: %d trailing bytes after checkpoint", r.Remaining())
+	}
+	if !validPosition(p, c.pos) {
+		return Checkpoint{}, fmt.Errorf("emu: checkpoint position %+v outside program %q", c.pos, p.Name)
+	}
+	for _, pos := range c.stack {
+		if !validPosition(p, pos) {
+			return Checkpoint{}, fmt.Errorf("emu: checkpoint stack entry %+v outside program %q", pos, p.Name)
+		}
+	}
+	c.prog = p
+	return c, nil
+}
+
+// Equal reports whether two checkpoints hold identical architectural
+// state for the same program (test helper for the serialization suite).
+func (c *Checkpoint) Equal(o *Checkpoint) bool {
+	if c.prog != o.prog || c.iregs != o.iregs || c.fregs != o.fregs ||
+		c.pos != o.pos || c.seq != o.seq || c.halt != o.halt ||
+		len(c.stack) != len(o.stack) || len(c.pages) != len(o.pages) {
+		return false
+	}
+	for i := range c.stack {
+		if c.stack[i] != o.stack[i] {
+			return false
+		}
+	}
+	for k, pg := range c.pages {
+		opg := o.pages[k]
+		if opg == nil || *pg != *opg {
+			return false
+		}
+	}
+	return true
+}

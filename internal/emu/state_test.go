@@ -1,0 +1,114 @@
+package emu
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// run builds the gzip workload and executes steps instructions.
+func run(t *testing.T, steps int) *Emulator {
+	t.Helper()
+	b, ok := workload.ByName("gzip")
+	if !ok {
+		t.Fatal("no gzip workload")
+	}
+	e, err := New(b.Build(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Restart = true
+	for i := 0; i < steps; i++ {
+		if _, ok := e.Next(); !ok {
+			t.Fatalf("halted after %d instructions", i)
+		}
+	}
+	return e
+}
+
+func TestCheckpointMarshalRoundTrip(t *testing.T) {
+	e := run(t, 5000)
+	ck := e.Checkpoint()
+	data, err := ck.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalCheckpoint(data, e.prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(&ck) {
+		t.Fatal("deserialized checkpoint differs from original")
+	}
+	// Identical state must serialize to identical bytes (sorted pages,
+	// fixed layout) — what content addressing relies on.
+	again, err := got.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(again, data) {
+		t.Fatal("re-serialization is not byte-identical")
+	}
+}
+
+// TestCheckpointResumeEquivalence: an emulator resumed from a
+// deserialized checkpoint must emit exactly the dynamic instruction
+// stream the original emits from the same point.
+func TestCheckpointResumeEquivalence(t *testing.T) {
+	e := run(t, 5000)
+	orig := e.Checkpoint()
+	data, err := orig.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck, err := UnmarshalCheckpoint(data, e.prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewFromCheckpoint(e.prog, ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Restart = true
+	for i := 0; i < 5000; i++ {
+		da, oka := e.Next()
+		db, okb := r.Next()
+		if oka != okb || da != db {
+			t.Fatalf("instruction %d: original (%+v,%v) vs resumed (%+v,%v)", i, da, oka, db, okb)
+		}
+	}
+	a, b := e.Checkpoint(), r.Checkpoint()
+	if !a.Equal(&b) {
+		t.Fatal("states diverged after identical resumed execution")
+	}
+}
+
+func TestUnmarshalCheckpointErrors(t *testing.T) {
+	e := run(t, 1000)
+	orig := e.Checkpoint()
+	data, err := orig.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := UnmarshalCheckpoint(nil, e.prog); err == nil {
+		t.Error("empty checkpoint accepted")
+	}
+	if _, err := UnmarshalCheckpoint(data[:len(data)-9], e.prog); err == nil {
+		t.Error("truncated checkpoint accepted")
+	}
+	bad := append([]byte(nil), data...)
+	bad[0] ^= 0xff // corrupt the magic
+	if _, err := UnmarshalCheckpoint(bad, e.prog); err == nil {
+		t.Error("wrong-magic checkpoint accepted")
+	}
+	if _, err := UnmarshalCheckpoint(append(append([]byte(nil), data...), 0), e.prog); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+	// A structurally different program must be rejected by position
+	// validation, not executed.
+	other, _ := workload.ByName("mcf")
+	if _, err := UnmarshalCheckpoint(data, other.Build(7)); err == nil {
+		t.Error("checkpoint attached to a different program")
+	}
+}

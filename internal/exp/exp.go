@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"repro/internal/campaign"
+	"repro/internal/ckpt"
 	"repro/internal/power"
 	"repro/internal/serve"
 	"repro/internal/sim"
@@ -98,6 +99,7 @@ type Runner struct {
 	Config     sim.Config // base configuration; technique fields overridden
 	Parallel   int        // worker count; 0 = GOMAXPROCS
 	CacheDir   string     // on-disk result cache; "" = no caching
+	CkptDir    string     // checkpoint artifact store; "" = warm from scratch
 	Benchmarks []string   // benchmark subset; empty = full suite
 	// Sampling runs the suite through the sampled-simulation engine
 	// (nil = exact). Results then carry error bars; see SamplingReport.
@@ -143,9 +145,11 @@ func (r *Runner) Spec(techs []Technique) campaign.Spec {
 	}
 }
 
-// engine builds the campaign engine for this runner.
+// engine builds the campaign engine for this runner. A checkpoint
+// store that fails to open degrades to warm-from-scratch execution.
 func (r *Runner) engine() *campaign.Engine {
-	return &campaign.Engine{Workers: r.Parallel, CacheDir: r.CacheDir}
+	store, _ := ckpt.Open(r.CkptDir)
+	return &campaign.Engine{Workers: r.Parallel, CacheDir: r.CacheDir, Ckpt: store}
 }
 
 // RunCampaign executes an arbitrary campaign spec the way this runner

@@ -2,11 +2,15 @@ package sample
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"io"
+	"io/fs"
 	"math/bits"
 
 	"repro/internal/bpred"
 	"repro/internal/cache"
+	"repro/internal/ckpt"
 	"repro/internal/emu"
 	"repro/internal/isa"
 	"repro/internal/prog"
@@ -17,10 +21,9 @@ import (
 // countedStream wraps the emulator, counting committed real (non-hint)
 // instructions and tracking the most recent issue-queue hint so a
 // detailed window can start with the enclosing region's hint applied
-// (Core.PresetHint) instead of an uncontrolled queue. The detailed
-// windows consume it as their trace.Stream; the functional phases update
-// the same counters inline (see Run) to avoid a call and a record copy
-// per fast-forwarded instruction.
+// (Core.PresetHint) instead of an uncontrolled queue. The functional
+// phases update the counters inline (see generate) to avoid a call and
+// a record copy per fast-forwarded instruction.
 type countedStream struct {
 	e        *emu.Emulator
 	real     int64
@@ -117,6 +120,19 @@ func (w *warmer) observe(d *trace.DynInst) {
 // if any, observes detailed windows only, with cycle numbers restarting
 // at each window.
 func Run(ctx context.Context, cfg sim.Config, p *prog.Program, budget int64, sc Config) (*Report, error) {
+	return RunStored(ctx, cfg, p, budget, sc, nil, "")
+}
+
+// RunStored is Run with a checkpoint store attached. When the store
+// holds an artifact under key, the run resumes its detailed windows
+// directly from the stored warm state — skipping fast-forward and
+// functional warming entirely; otherwise it generates the artifact
+// write-through while running. A nil store or empty key disables
+// checkpointing. Resumed runs are bit-identical to warm-from-scratch
+// runs: the window schedule is a pure function of (budget, regime), and
+// each window executes on a fork of the stream state at its start, so
+// neither path can perturb the other's numbers.
+func RunStored(ctx context.Context, cfg sim.Config, p *prog.Program, budget int64, sc Config, store *ckpt.Store, key string) (*Report, error) {
 	sc = sc.WithDefaults()
 	if err := sc.Validate(); err != nil {
 		return nil, err
@@ -124,6 +140,80 @@ func Run(ctx context.Context, cfg sim.Config, p *prog.Program, budget int64, sc 
 	if budget <= 0 {
 		return nil, fmt.Errorf("sample: sampled runs need a positive budget, got %d", budget)
 	}
+	if store == nil || key == "" {
+		return generate(ctx, cfg, p, budget, sc, nil, "")
+	}
+	if rep, err, ok := resume(ctx, cfg, p, budget, sc, store, key); ok {
+		return rep, err
+	}
+	// Miss. Serialize in-process generation per key: the winner
+	// generates, everyone who blocked here resumes from the published
+	// artifact (re-read from disk so each job attaches its own program).
+	unlock := store.Lock(key)
+	defer unlock()
+	if rep, err, ok := resume(ctx, cfg, p, budget, sc, store, key); ok {
+		return rep, err
+	}
+	return generate(ctx, cfg, p, budget, sc, store, key)
+}
+
+// runWindow executes one detailed window on a fork of the stream: a
+// fresh emulator restored from the window's architectural checkpoint
+// and the window's own warm hierarchy/predictor (the caller hands over
+// ownership; stats are reset here). Both the generate and resume paths
+// measure every window through this one function — that shared path is
+// what makes their reports bit-identical.
+func runWindow(ctx context.Context, cfg sim.Config, p *prog.Program, win *ckpt.Window, detail int64, sc Config) (sim.Stats, error) {
+	fe, err := emu.NewFromCheckpoint(p, win.Ckpt)
+	if err != nil {
+		return sim.Stats{}, err
+	}
+	fe.Restart = true
+	mem, bp := win.Mem, win.Bp
+	// The window's measurement must hold this window's traffic only
+	// (warming charges nothing by construction).
+	mem.IL1.Stats, mem.DL1.Stats, mem.L2.Stats = cache.Stats{}, cache.Stats{}, cache.Stats{}
+	bp.Stats = bpred.Stats{}
+
+	measured := sc.WindowInsts
+	if measured > detail {
+		measured = detail
+	}
+	dwarm := detail - measured
+
+	wcfg := cfg
+	wcfg.MaxInsts = detail
+	wcfg.MaxCycles = sim.SafetyCycles(detail)
+	core, err := sim.NewResumable(wcfg, fe, mem, bp)
+	if err != nil {
+		return sim.Stats{}, err
+	}
+	core.PresetHint(win.LastHint)
+	var fillSnap sim.Stats
+	if dwarm > 0 {
+		if fillSnap, err = core.RunSegment(ctx, dwarm); err != nil {
+			return sim.Stats{}, err
+		}
+	}
+	full, err := core.RunSegment(ctx, detail)
+	return subStats(&full, &fillSnap), err
+}
+
+// windowDetail returns a window's detailed length (unmeasured pipeline
+// fill plus measured unit), shrunk at the end of the budget. Both paths
+// derive it from the window's stream position with this one formula.
+func windowDetail(sc Config, startReal, budget int64) int64 {
+	detail := sc.DetailWarmupInsts + sc.WindowInsts
+	if remaining := budget - startReal; detail > remaining {
+		detail = remaining
+	}
+	return detail
+}
+
+// generate runs the full functional stream — fast-forward, warming,
+// and a fork-per-window detailed measurement — writing each window's
+// resume state through to the store when one is attached.
+func generate(ctx context.Context, cfg sim.Config, p *prog.Program, budget int64, sc Config, store *ckpt.Store, key string) (*Report, error) {
 	e, err := emu.New(p)
 	if err != nil {
 		return nil, err
@@ -137,6 +227,15 @@ func Run(ctx context.Context, cfg sim.Config, p *prog.Program, budget int64, sc 
 	cs := &countedStream{e: e}
 	warm := newWarmer(mem, bp)
 	rep := &Report{Confidence: sc.Confidence}
+
+	var w *ckpt.Writer
+	if store != nil && key != "" {
+		// A failed Create just means no artifact gets published; the run
+		// itself must not care.
+		w, _ = store.Create(key, budget)
+	}
+	defer func() { w.Abort() }() // no-op once committed
+
 	ffPerPeriod := sc.PeriodInsts - sc.WarmupInsts - sc.DetailWarmupInsts - sc.WindowInsts
 	// Deterministic per-run jitter source: windows must not alias with
 	// loop periodicity in the workload, and re-runs must land identical
@@ -180,54 +279,46 @@ func Run(ctx context.Context, cfg sim.Config, p *prog.Program, budget int64, sc 
 			break
 		}
 
-		// Detailed window over the shared warmed state. The window may
-		// shrink at the end of the budget; the measured unit shrinks last.
-		detail := sc.DetailWarmupInsts + sc.WindowInsts
-		if remaining := budget - cs.real; detail > remaining {
-			detail = remaining
+		// Detailed window on a fork of the stream state at this position.
+		// The window's resume state is serialized before the window runs,
+		// so the published artifact holds exactly what the measurement saw.
+		detail := windowDetail(sc, cs.real, budget)
+		win := &ckpt.Window{
+			StartReal: cs.real,
+			LastHint:  cs.lastHint,
+			Ckpt:      e.Checkpoint(),
+			Mem:       mem.Clone(),
+			Bp:        bp.Clone(),
 		}
-		measured := sc.WindowInsts
-		if measured > detail {
-			measured = detail
-		}
-		dwarm := detail - measured
-
-		if sc.KeepCheckpoints {
-			rep.Checkpoints = append(rep.Checkpoints, e.Checkpoint())
-		}
-		startSeq := e.Seq()
-		// Reset the shared state's counters so segment snapshots hold this
-		// window's traffic only (warming charges nothing by construction).
-		mem.IL1.Stats, mem.DL1.Stats, mem.L2.Stats = cache.Stats{}, cache.Stats{}, cache.Stats{}
-		bp.Stats = bpred.Stats{}
-
-		wcfg := cfg
-		wcfg.MaxInsts = detail
-		wcfg.MaxCycles = sim.SafetyCycles(detail)
-		core, err := sim.NewResumable(wcfg, cs, mem, bp)
-		if err != nil {
-			return nil, err
-		}
-		core.PresetHint(cs.lastHint)
-		var fillSnap sim.Stats
-		if dwarm > 0 {
-			if fillSnap, err = core.RunSegment(ctx, dwarm); err != nil {
-				rep.finalize(cs.real)
-				return rep, err
+		if w != nil {
+			if err := w.Append(win); err != nil {
+				w.Abort()
+				w = nil
 			}
 		}
-		full, err := core.RunSegment(ctx, detail)
-		win := subStats(&full, &fillSnap)
-		rep.Windows = append(rep.Windows, Window{StartSeq: startSeq, Stats: win})
-		if err != nil {
+		winStats, werr := runWindow(ctx, cfg, p, win, detail, sc)
+		rep.Windows = append(rep.Windows, Window{StartSeq: win.Ckpt.Seq(), Stats: winStats})
+		if werr != nil {
 			rep.finalize(cs.real)
-			return rep, err
+			return rep, werr
+		}
+
+		// The main stream re-executes the window's region functionally —
+		// with warming, regardless of PureFastForward, so the state every
+		// later window starts from is a pure function of the stream
+		// position and never of this cell's detailed configuration.
+		stop = cs.real + detail
+		for cs.real < stop {
+			d, ok := e.Next()
+			if !ok {
+				break
+			}
+			cs.observe(&d)
+			warm.observe(&d)
 		}
 
 		// Fast-forward: architectural state always; cache and predictor
-		// warming too unless PureFastForward. (Instructions the window
-		// core fetched but did not commit were already consumed from the
-		// stream and executed architecturally; they simply join the gap.)
+		// warming too unless PureFastForward.
 		ffStart := cs.real
 		stop = ffStart + jitteredGap()
 		if stop > budget {
@@ -257,5 +348,70 @@ func Run(ctx context.Context, cfg sim.Config, p *prog.Program, budget int64, sc 
 		}
 	}
 	rep.finalize(cs.real)
+	if w != nil {
+		// Publish only a complete artifact; a commit failure is a cache
+		// miss for the next job, not an error for this one.
+		_ = w.Commit(ckpt.Trailer{
+			TotalReal:       rep.TotalReal,
+			WarmedReal:      rep.WarmedReal,
+			FastForwardReal: rep.FastForwardReal,
+		})
+		w = nil
+	}
 	return rep, nil
+}
+
+// resume replays a run's detailed windows from a stored artifact,
+// skipping the functional stream entirely. ok is false when the
+// artifact is missing or unusable (an unusable one is evicted so the
+// caller regenerates it); otherwise the returned report and error are
+// final.
+func resume(ctx context.Context, cfg sim.Config, p *prog.Program, budget int64, sc Config, store *ckpt.Store, key string) (rep *Report, err error, ok bool) {
+	r, oerr := store.OpenArtifact(key, p, cfg.Caches, cfg.Bpred)
+	if oerr != nil {
+		if !errors.Is(oerr, fs.ErrNotExist) {
+			store.Remove(key)
+		}
+		return nil, nil, false
+	}
+	defer r.Close()
+	if r.Budget() != budget {
+		// A key collision across budgets cannot happen through the
+		// campaign keying (budget is part of the key); treat direct-API
+		// mismatches as a miss without evicting the artifact.
+		return nil, nil, false
+	}
+	rep = &Report{Confidence: sc.Confidence}
+	for {
+		if cerr := ctx.Err(); cerr != nil {
+			rep.finalize(budget)
+			return rep, cerr, true
+		}
+		win, rerr := r.Next()
+		if rerr == io.EOF {
+			break
+		}
+		if rerr != nil {
+			// Corrupt mid-stream: evict and regenerate — windows are
+			// deterministic, so the rerun is always safe.
+			store.Remove(key)
+			return nil, nil, false
+		}
+		detail := windowDetail(sc, win.StartReal, budget)
+		winStats, werr := runWindow(ctx, cfg, p, win, detail, sc)
+		rep.Windows = append(rep.Windows, Window{StartSeq: win.Ckpt.Seq(), Stats: winStats})
+		if werr != nil {
+			rep.finalize(budget)
+			return rep, werr, true
+		}
+	}
+	tr, got := r.Trailer()
+	if !got {
+		store.Remove(key)
+		return nil, nil, false
+	}
+	rep.WarmedReal = tr.WarmedReal
+	rep.FastForwardReal = tr.FastForwardReal
+	rep.finalize(tr.TotalReal)
+	return rep, nil, true
 }

@@ -4,7 +4,6 @@ import (
 	"math"
 	"reflect"
 
-	"repro/internal/emu"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -44,9 +43,6 @@ type Report struct {
 
 	// Windows holds the per-window measurements.
 	Windows []Window
-	// Checkpoints holds the architectural checkpoint taken at each window
-	// start (Config.KeepCheckpoints).
-	Checkpoints []emu.Checkpoint
 
 	// TotalReal is the committed real instructions the run covered
 	// (sampled + warmed + fast-forwarded + pipeline fill); SampledReal of

@@ -26,11 +26,16 @@
 // Report plugs into the power model and the campaign exporters exactly
 // like an exact run, with error bars attached.
 //
-// The engine records an architectural checkpoint (emu.Checkpoint) at
-// each window start when asked, so a window's exact instruction stream
-// can be regenerated without replaying the prefix (re-measuring its
-// timing additionally requires re-warmed cache/predictor state; see
-// emu.Checkpoint).
+// Every detailed window executes on a fork of the stream state at its
+// start — a fresh emulator restored from an architectural checkpoint
+// plus clones of the warmed hierarchy and predictor — while the main
+// stream re-executes the window's region functionally. The warm state
+// at every window start is therefore a pure function of the stream
+// position and the sampling regime, never of the cell's detailed
+// configuration, which is what lets a checkpoint store (internal/ckpt)
+// share one artifact across an entire sweep grid: RunStored resumes
+// windows directly from stored state, bit-identical to a
+// warm-from-scratch run.
 package sample
 
 import (
@@ -56,9 +61,6 @@ type Config struct {
 	DetailWarmupInsts int64
 	// Confidence is the level for the per-metric intervals (default 0.95).
 	Confidence float64
-	// KeepCheckpoints records an architectural checkpoint at each window
-	// start in the Report.
-	KeepCheckpoints bool
 	// JitterPct randomises each period's fast-forward gap by up to ±this
 	// percentage (0..90), drawn from a deterministic per-run generator, so
 	// windows cannot alias with loop periodicity in the workload (the

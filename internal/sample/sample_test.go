@@ -2,10 +2,13 @@ package sample
 
 import (
 	"context"
+	"os"
+	"path/filepath"
 	"reflect"
 	"testing"
 	"time"
 
+	"repro/internal/ckpt"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -44,29 +47,90 @@ func TestRunDeterministic(t *testing.T) {
 	}
 }
 
-func TestRunKeepsCheckpoints(t *testing.T) {
+// TestRunStoredGenerateResume: the first stored run generates the
+// artifact; a second run resumes from it and must produce the exact
+// same report — the bit-identity contract the checkpoint store's whole
+// value rests on. (The broader cross-config differential suite lives in
+// internal/campaign.)
+func TestRunStoredGenerateResume(t *testing.T) {
 	b, _ := workload.ByName("gzip")
+	cfg := sim.DefaultConfig()
 	sc := testConfig()
-	sc.KeepCheckpoints = true
-	rep, err := Run(context.Background(), sim.DefaultConfig(), b.Build(42), 50_000, sc)
+	st, err := ckpt.Open(t.TempDir())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rep.Checkpoints) != len(rep.Windows) {
-		t.Fatalf("%d checkpoints for %d windows", len(rep.Checkpoints), len(rep.Windows))
+	const key = "ab12cd34ab12cd34ab12cd34ab12cd34"
+
+	cold, err := RunStored(context.Background(), cfg, b.Build(42), 50_000, sc, st, key)
+	if err != nil {
+		t.Fatal(err)
 	}
-	for i := range rep.Windows {
-		if rep.Checkpoints[i].Seq() != rep.Windows[i].StartSeq {
-			t.Fatalf("window %d: checkpoint Seq %d != window start %d",
-				i, rep.Checkpoints[i].Seq(), rep.Windows[i].StartSeq)
-		}
+	if !st.Has(key) {
+		t.Fatal("generate pass did not publish the artifact")
 	}
+	if m := st.Metrics(); m.Generated != 1 || m.Misses == 0 {
+		t.Fatalf("generate metrics: %+v", m)
+	}
+
+	warm, err := RunStored(context.Background(), cfg, b.Build(42), 50_000, sc, st, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cold, warm) {
+		t.Fatalf("resumed report differs from generating report:\ncold %+v\nwarm %+v", cold, warm)
+	}
+	if m := st.Metrics(); m.Hits == 0 {
+		t.Fatalf("resume did not hit the store: %+v", m)
+	}
+
+	// Both must equal the store-less run too.
+	plain, err := Run(context.Background(), cfg, b.Build(42), 50_000, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, cold) {
+		t.Fatal("stored run differs from plain run")
+	}
+
 	// Window starts must be strictly increasing along the stream.
-	for i := 1; i < len(rep.Windows); i++ {
-		if rep.Windows[i].StartSeq <= rep.Windows[i-1].StartSeq {
+	for i := 1; i < len(cold.Windows); i++ {
+		if cold.Windows[i].StartSeq <= cold.Windows[i-1].StartSeq {
 			t.Fatalf("window starts not increasing: %d then %d",
-				rep.Windows[i-1].StartSeq, rep.Windows[i].StartSeq)
+				cold.Windows[i-1].StartSeq, cold.Windows[i].StartSeq)
 		}
+	}
+}
+
+// TestRunStoredCorruptArtifact: a mangled artifact must be evicted and
+// regenerated, not trusted.
+func TestRunStoredCorruptArtifact(t *testing.T) {
+	b, _ := workload.ByName("gzip")
+	cfg := sim.DefaultConfig()
+	sc := testConfig()
+	dir := t.TempDir()
+	st, err := ckpt.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const key = "ab12cd34ab12cd34ab12cd34ab12cd34"
+	want, err := RunStored(context.Background(), cfg, b.Build(42), 50_000, sc, st, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, key[:2], key+".ckpt")
+	if err := os.WriteFile(path, []byte("not an artifact"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunStored(context.Background(), cfg, b.Build(42), 50_000, sc, st, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatal("regenerated report differs after corruption")
+	}
+	if !st.Has(key) {
+		t.Fatal("regeneration did not republish the artifact")
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/campaign"
+	"repro/internal/ckpt"
 	"repro/internal/power"
 	"repro/internal/worker"
 )
@@ -27,6 +28,7 @@ type dispatcher struct {
 	retries   int           // re-lease attempts after a failed lease
 	gate      campaign.Gate // shared simulation gate (local executions)
 	met       *metrics
+	ckpt      *ckpt.Store // shared checkpoint artifact store (may be nil)
 
 	mu      sync.Mutex
 	wseq    int
@@ -35,6 +37,12 @@ type dispatcher struct {
 	queue   []*task
 	wake    chan struct{} // closed+replaced when the queue gains a task
 	leases  map[string]*lease
+	// ckptGranted records every checkpoint key ever handed out in a
+	// lease — the set of keys a worker PUT may legitimately name. Keys
+	// are content hashes, so the set grows with distinct sweep warming
+	// identities, not with jobs; it is the gate that keeps the artifact
+	// store write surface closed to anything the server never asked for.
+	ckptGranted map[string]struct{}
 }
 
 // Dispatcher protocol defaults (overridable via Config).
@@ -66,10 +74,11 @@ const (
 // goroutine blocked in RunJob) waits on outcome; the dispatcher's state
 // machine guarantees exactly one delivery.
 type task struct {
-	job    *campaign.Job
-	key    string
-	params power.Params
-	ctx    context.Context // the campaign's context
+	job     *campaign.Job
+	key     string
+	ckptKey string // checkpoint artifact key ("" = none)
+	params  power.Params
+	ctx     context.Context // the campaign's context
 
 	state    taskState
 	attempts int         // leases granted so far
@@ -95,7 +104,7 @@ type lease struct {
 	granted  time.Time
 }
 
-func newDispatcher(cfg Config, gate campaign.Gate, met *metrics) *dispatcher {
+func newDispatcher(cfg Config, gate campaign.Gate, met *metrics, store *ckpt.Store) *dispatcher {
 	ttl := cfg.LeaseTTL
 	if ttl <= 0 {
 		ttl = defaultLeaseTTL
@@ -115,15 +124,17 @@ func newDispatcher(cfg Config, gate campaign.Gate, met *metrics) *dispatcher {
 		retries = defaultJobRetries
 	}
 	return &dispatcher{
-		ttl:       ttl,
-		offer:     offer,
-		workerTTL: wttl,
-		retries:   retries,
-		gate:      gate,
-		met:       met,
-		workers:   make(map[string]*workerState),
-		wake:      make(chan struct{}),
-		leases:    make(map[string]*lease),
+		ttl:         ttl,
+		offer:       offer,
+		workerTTL:   wttl,
+		retries:     retries,
+		gate:        gate,
+		met:         met,
+		ckpt:        store,
+		workers:     make(map[string]*workerState),
+		wake:        make(chan struct{}),
+		leases:      make(map[string]*lease),
+		ckptGranted: make(map[string]struct{}),
 	}
 }
 
@@ -154,6 +165,11 @@ func (d *dispatcher) runRemote(ctx context.Context, job *campaign.Job, key strin
 		ctx:     ctx,
 		outcome: make(chan taskOutcome, 1),
 	}
+	if d.ckpt != nil {
+		// Sampled jobs carry their checkpoint identity into the lease so
+		// a worker can fetch (or publish) the sweep's shared warm state.
+		t.ckptKey, _ = campaign.CheckpointKey(job)
+	}
 	d.mu.Lock()
 	d.enqueueLocked(t, false)
 	d.mu.Unlock()
@@ -177,7 +193,7 @@ func (d *dispatcher) runLocal(ctx context.Context, job *campaign.Job) (campaign.
 	}
 	defer d.gate.Release()
 	d.met.jobsLocal.Add(1)
-	return campaign.Execute(ctx, job)
+	return campaign.ExecuteStored(ctx, job, d.ckpt)
 }
 
 // enqueueLocked puts a task on the queue (front for retries, so a
@@ -400,6 +416,9 @@ func (d *dispatcher) nextLease(ctx context.Context, workerID string, wait time.D
 			l.timer = time.AfterFunc(d.ttl, func() { d.expire(l.id) })
 			d.leases[l.id] = l
 			w.active++
+			if t.ckptKey != "" {
+				d.ckptGranted[t.ckptKey] = struct{}{}
+			}
 			d.met.leasesGranted.Add(1)
 			d.mu.Unlock()
 			return l, t, nil
@@ -534,6 +553,16 @@ func validateUpload(t *task, up worker.ResultUpload) error {
 		return fmt.Errorf("result sampling mode mismatch")
 	}
 	return nil
+}
+
+// ckptPutAllowed reports whether a worker upload may install an artifact
+// under key: only keys the dispatcher itself handed out in leases are
+// writable from outside (and WriteRaw still validates the container).
+func (d *dispatcher) ckptPutAllowed(key string) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	_, ok := d.ckptGranted[key]
+	return ok
 }
 
 // --- metrics ---

@@ -39,6 +39,9 @@ type metrics struct {
 	resultsRejected   atomic.Int64 // uploads that failed JobKey/identity validation
 	lateUploads       atomic.Int64 // uploads against expired or unknown leases
 	campaignsDeleted  atomic.Int64 // campaigns dropped via DELETE
+
+	// Checkpoint store wire traffic (store-side counters live in ckpt).
+	ckptBytesShipped atomic.Int64 // artifact bytes served to / accepted from workers
 }
 
 // instsPerSecond is the service's aggregate simulation rate: committed

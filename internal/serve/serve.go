@@ -24,6 +24,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net"
 	"net/http"
 	"runtime"
@@ -31,6 +32,7 @@ import (
 	"time"
 
 	"repro/internal/campaign"
+	"repro/internal/ckpt"
 )
 
 // Config parameterises a Server.
@@ -38,6 +40,11 @@ type Config struct {
 	// CacheDir is the shared on-disk result cache ("" disables caching,
 	// which also disables cross-campaign result reuse — set it).
 	CacheDir string
+	// CkptDir is the shared checkpoint artifact store ("" disables it):
+	// sampled sweep cells then share one functional-warming pass per
+	// warming identity instead of each recomputing it, locally and
+	// across the worker fleet (artifacts ship over /v1/checkpoints).
+	CkptDir string
 	// Workers bounds concurrent simulations fleet-wide (the shared
 	// executor); 0 means GOMAXPROCS.
 	Workers int
@@ -72,6 +79,7 @@ type Server struct {
 	flight *campaign.Flight
 	met    metrics
 	disp   *dispatcher
+	ckpt   *ckpt.Store // nil when CkptDir is unset or unusable
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -94,6 +102,10 @@ type campaignRun struct {
 	submitted time.Time
 	tracker   *campaign.Tracker
 	hub       *hub
+	// ckptKeys are the checkpoint artifact keys this campaign's sampled
+	// jobs can reference (computed once at submission). DELETE uses them
+	// to evict artifacts no remaining campaign references.
+	ckptKeys map[string]struct{}
 
 	mu       sync.Mutex
 	done     bool
@@ -131,7 +143,15 @@ func New(cfg Config) *Server {
 		campaigns: make(map[string]*campaignRun),
 		active:    make(map[string]int),
 	}
-	s.disp = newDispatcher(cfg, s.gate, &s.met)
+	// A store that fails to open degrades to checkpointing-off rather
+	// than refusing to serve: the feature is an optimization, not a
+	// correctness dependency. But say so — a typo'd -ckpt silently
+	// costing the fleet its shared warming is a debugging trap.
+	var err error
+	if s.ckpt, err = ckpt.Open(cfg.CkptDir); err != nil {
+		log.Printf("sdiqd: checkpoint store disabled: %v", err)
+	}
+	s.disp = newDispatcher(cfg, s.gate, &s.met, s.ckpt)
 	return s
 }
 
@@ -149,6 +169,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/leases", s.handleLease)
 	mux.HandleFunc("POST /v1/leases/{id}/heartbeat", s.handleHeartbeat)
 	mux.HandleFunc("POST /v1/leases/{id}/result", s.handleLeaseResult)
+	mux.HandleFunc("GET /v1/checkpoints/{key}", s.handleCkptGet)
+	mux.HandleFunc("PUT /v1/checkpoints/{key}", s.handleCkptPut)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
@@ -242,6 +264,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 
 	client := clientID(r)
+	ckptKeys := ckptKeysOf(s.ckpt, jobs)
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
@@ -268,6 +291,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		submitted: time.Now().UTC(),
 		tracker:   campaign.NewTracker(jobs),
 		hub:       newHub(),
+		ckptKeys:  ckptKeys,
 	}
 	s.campaigns[id] = rc
 	s.order = append(s.order, id)
@@ -301,6 +325,7 @@ func (s *Server) run(rc *campaignRun) {
 		// actually raises throughput instead of idling behind the gate.
 		Workers:  cap(s.gate) + s.disp.extraCapacity(),
 		CacheDir: s.cfg.CacheDir,
+		Ckpt:     s.ckpt,
 		Flight:   s.flight,
 		Gate:     s.gate,
 		Runner:   s.disp, // remote-or-local routing per cache-missed job
@@ -462,18 +487,57 @@ func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// ckptKeysOf derives the distinct checkpoint keys a job roster can
+// reference; nil when the store is off (no GC bookkeeping needed then).
+func ckptKeysOf(store *ckpt.Store, jobs []campaign.Job) map[string]struct{} {
+	if store == nil {
+		return nil
+	}
+	keys := make(map[string]struct{})
+	for i := range jobs {
+		if k, err := campaign.CheckpointKey(&jobs[i]); err == nil && k != "" {
+			keys[k] = struct{}{}
+		}
+	}
+	if len(keys) == 0 {
+		return nil
+	}
+	return keys
+}
+
 // handleMetrics renders the counters plus the dispatcher's live worker
-// and lease gauges.
+// and lease gauges and the checkpoint store's counters.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeRows(w, append(s.met.rows(), s.disp.rows()...))
+	rows := append(s.met.rows(), s.disp.rows()...)
+	writeRows(w, append(rows, s.ckptRows()...))
+}
+
+// ckptRows renders the checkpoint store's live metrics (nil store → no
+// rows, so scraping a store-less server is unchanged).
+func (s *Server) ckptRows() []row {
+	if s.ckpt == nil {
+		return nil
+	}
+	m := s.ckpt.Metrics()
+	artifacts, bytes := s.ckpt.DiskStat()
+	return []row{
+		{"sdiqd_ckpt_hits_total", "Checkpoint artifacts resumed from the store.", "counter", float64(m.Hits)},
+		{"sdiqd_ckpt_misses_total", "Checkpoint artifact lookups that missed.", "counter", float64(m.Misses)},
+		{"sdiqd_ckpt_generated_total", "Checkpoint artifacts generated and published locally.", "counter", float64(m.Generated)},
+		{"sdiqd_ckpt_evicted_total", "Checkpoint artifacts evicted (GC or corruption).", "counter", float64(m.Evicted)},
+		{"sdiqd_ckpt_bytes_shipped_total", "Checkpoint artifact bytes shipped to or from workers over HTTP.", "counter", float64(s.met.ckptBytesShipped.Load())},
+		{"sdiqd_ckpt_artifacts", "Checkpoint artifacts currently on disk.", "gauge", float64(artifacts)},
+		{"sdiqd_ckpt_store_bytes", "Total bytes of checkpoint artifacts on disk.", "gauge", float64(bytes)},
+	}
 }
 
 // handleDelete drops a finished campaign from the in-memory registry —
-// its tracker, event log and result set become garbage immediately.
-// Running campaigns are refused: cancel-by-delete would silently change
-// other observers' results, and the engine owns cancellation. This is
-// the first bite of result GC; exports wanted later must be fetched (or
-// re-submitted — the disk cache makes that cheap) before deletion.
+// its tracker, event log and result set become garbage immediately —
+// and garbage-collects checkpoint artifacts no remaining campaign
+// references. Running campaigns are refused: cancel-by-delete would
+// silently change other observers' results, and the engine owns
+// cancellation. Exports wanted later must be fetched (or re-submitted —
+// the disk cache makes that cheap) before deletion.
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	s.mu.Lock()
@@ -495,7 +559,25 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 			break
 		}
 	}
+	// Orphan detection: the deleted campaign's keys minus every key a
+	// surviving campaign (running or finished) can still reference.
+	var orphans []string
+	for k := range rc.ckptKeys {
+		referenced := false
+		for _, other := range s.campaigns {
+			if _, ok := other.ckptKeys[k]; ok {
+				referenced = true
+				break
+			}
+		}
+		if !referenced {
+			orphans = append(orphans, k)
+		}
+	}
 	s.mu.Unlock()
+	for _, k := range orphans {
+		s.ckpt.Remove(k)
+	}
 	s.met.campaignsDeleted.Add(1)
 	w.WriteHeader(http.StatusNoContent)
 }

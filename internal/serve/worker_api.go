@@ -54,6 +54,7 @@ func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
 		Key:        t.key,
 		Attempt:    t.attempts,
 		DeadlineMS: s.disp.ttl.Milliseconds(),
+		CkptKey:    t.ckptKey,
 		Job:        worker.JobSpecOf(t.job, t.params),
 	})
 }

@@ -159,3 +159,43 @@ func (a *API) Complete(ctx context.Context, leaseID string, up ResultUpload) (Re
 	_, err := a.call(ctx, http.MethodPost, "/v1/leases/"+leaseID+"/result", up, &resp)
 	return resp, err
 }
+
+// FetchCkpt downloads the raw checkpoint artifact for key. Artifacts
+// are opaque binary blobs, not JSON, so this bypasses call.
+func (a *API) FetchCkpt(ctx context.Context, key string) ([]byte, error) {
+	path := "/v1/checkpoints/" + key
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, a.Base+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := a.http().Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("worker: GET %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, &APIError{Status: resp.StatusCode, Method: http.MethodGet, Path: path, Msg: resp.Status}
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// PushCkpt uploads a locally generated checkpoint artifact so the rest
+// of the sweep — on the server and the fleet — can resume from it.
+func (a *API) PushCkpt(ctx context.Context, key string, data []byte) error {
+	path := "/v1/checkpoints/" + key
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, a.Base+path, bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := a.http().Do(req)
+	if err != nil {
+		return fmt.Errorf("worker: PUT %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+	if resp.StatusCode >= 300 {
+		return &APIError{Status: resp.StatusCode, Method: http.MethodPut, Path: path, Msg: resp.Status}
+	}
+	return nil
+}

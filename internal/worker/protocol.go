@@ -80,6 +80,12 @@ type Lease struct {
 	Attempt int `json:"attempt"`
 	// DeadlineMS is the lease TTL from grant.
 	DeadlineMS int64 `json:"deadline_ms"`
+	// CkptKey, when non-empty, is the job's checkpoint artifact key
+	// (campaign.CheckpointKey): the worker may GET the artifact from
+	// /v1/checkpoints/{key} to resume sampling without re-warming, and
+	// may PUT one it generated back for the rest of the sweep. Absent
+	// for exact jobs and on servers without a checkpoint store.
+	CkptKey string `json:"ckpt_key,omitempty"`
 	// Job is the work itself.
 	Job JobSpec `json:"job"`
 }

@@ -10,12 +10,13 @@ import (
 	"time"
 
 	"repro/internal/campaign"
+	"repro/internal/ckpt"
 )
 
 // Worker is the pull-based remote simulation worker: it registers with
-// a campaign server, leases jobs, executes them with campaign.Execute
-// against a local scratch cache, heartbeats while they run, and uploads
-// the results. Run drives it until ctx ends (hard stop: in-flight jobs
+// a campaign server, leases jobs, executes them with
+// campaign.ExecuteStored against a local scratch cache and checkpoint
+// store, heartbeats while they run, and uploads the results. Run drives it until ctx ends (hard stop: in-flight jobs
 // are abandoned and the server re-leases them) or Shutdown is called
 // (graceful: stop leasing, finish in-flight jobs, deregister).
 type Worker struct {
@@ -26,6 +27,11 @@ type Worker struct {
 	// Scratch is the local result cache directory ("" = none): a job the
 	// worker has run before is answered from disk without re-simulating.
 	Scratch string
+	// Ckpt is the local checkpoint artifact store directory ("" = none):
+	// sampled jobs whose lease names a checkpoint key download the
+	// sweep's shared warm state from the server (or generate and push it
+	// back) instead of each re-warming from scratch.
+	Ckpt string
 	// Concurrency is how many leases run at once (min 1).
 	Concurrency int
 	// API overrides the protocol client (tests); nil builds one from
@@ -106,6 +112,13 @@ func (w *Worker) Run(ctx context.Context) error {
 	if err != nil {
 		return fmt.Errorf("worker: scratch cache: %w", err)
 	}
+	store, err := ckpt.Open(w.Ckpt)
+	if err != nil {
+		// Checkpointing is an optimization: a broken store directory
+		// degrades to warm-from-scratch execution, not a dead worker.
+		w.logf("checkpoint store disabled: %v", err)
+		store = nil
+	}
 
 	reg, err := api.Register(ctx, RegisterRequest{Name: name, Capacity: conc})
 	if err != nil {
@@ -166,7 +179,7 @@ lease:
 		go func(l Lease) {
 			defer wg.Done()
 			defer func() { <-slots }()
-			w.serve(ctx, api, reg, scratch, l)
+			w.serve(ctx, api, reg, scratch, store, l)
 		}(l)
 	}
 	wg.Wait()
@@ -185,11 +198,13 @@ lease:
 	return ctx.Err()
 }
 
-// serve executes one lease: scratch-cache check, heartbeat loop,
-// execution, upload. A worker whose ctx dies mid-job goes silent — no
-// upload, no error report — which is precisely the failure the server's
-// lease expiry exists to absorb.
-func (w *Worker) serve(ctx context.Context, api *API, reg RegisterResponse, scratch *campaign.Cache, l Lease) {
+// serve executes one lease: scratch-cache check, checkpoint artifact
+// fetch, heartbeat loop, execution, upload (plus a best-effort artifact
+// push when this worker generated the sweep's warm state). A worker
+// whose ctx dies mid-job goes silent — no upload, no error report —
+// which is precisely the failure the server's lease expiry exists to
+// absorb.
+func (w *Worker) serve(ctx context.Context, api *API, reg RegisterResponse, scratch *campaign.Cache, store *ckpt.Store, l Lease) {
 	if w.OnLease != nil {
 		w.OnLease(l)
 	}
@@ -219,6 +234,27 @@ func (w *Worker) serve(ctx context.Context, api *API, reg RegisterResponse, scra
 		}
 		w.upload(ctx, api, reg.WorkerID, l, res, nil)
 		return
+	}
+
+	// Checkpoint artifact: fetch the sweep's shared warm state before
+	// executing. A miss (first cell of the sweep landing here, or a
+	// store-less server) is fine — the execution generates the artifact
+	// locally and pushes it back afterwards. Failures at every step
+	// degrade to warm-from-scratch.
+	ckptKey := l.CkptKey
+	if store == nil {
+		ckptKey = ""
+	}
+	fetched := false
+	if ckptKey != "" && !store.Has(ckptKey) {
+		if data, err := api.FetchCkpt(ctx, ckptKey); err != nil {
+			w.logf("lease %s: no artifact %.12s… from server: %v", l.ID, ckptKey, err)
+		} else if err := store.WriteRaw(ckptKey, data); err != nil {
+			w.logf("lease %s: artifact %.12s… rejected locally: %v", l.ID, ckptKey, err)
+		} else {
+			fetched = true
+			w.logf("lease %s: fetched artifact %.12s… (%d bytes)", l.ID, ckptKey, len(data))
+		}
 	}
 
 	// Heartbeat until the job finishes; a Cancel response (or a gone
@@ -255,7 +291,7 @@ func (w *Worker) serve(ctx context.Context, api *API, reg RegisterResponse, scra
 		}
 	}()
 
-	res, execErr := campaign.Execute(jobCtx, &job)
+	res, execErr := campaign.ExecuteStored(jobCtx, &job, store)
 	cancelJob()
 	<-hbDone
 
@@ -266,6 +302,19 @@ func (w *Worker) serve(ctx context.Context, api *API, reg RegisterResponse, scra
 		w.insts.Add(res.Stats.CommittedReal)
 		w.simNanos.Add(res.FinishedAt.Sub(res.StartedAt).Nanoseconds())
 		_ = scratch.Put(key, res)
+		if ckptKey != "" && !fetched && store.Has(ckptKey) {
+			// This worker generated the sweep's warm state: publish it so
+			// the server and the rest of the fleet skip their warming.
+			// Best-effort — the server may refuse (another cell beat us
+			// to it) and correctness never depends on the push landing.
+			if data, err := store.ReadRaw(ckptKey); err == nil {
+				if err := api.PushCkpt(ctx, ckptKey, data); err != nil {
+					w.logf("lease %s: artifact push: %v", l.ID, err)
+				} else {
+					w.logf("lease %s: pushed artifact %.12s… (%d bytes)", l.ID, ckptKey, len(data))
+				}
+			}
+		}
 	}
 	if w.OnDone != nil {
 		w.OnDone(l, res, execErr)

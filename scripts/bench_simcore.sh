@@ -22,7 +22,7 @@ trap 'rm -f "$tmp"' EXIT
 
 # No pipe: a panicking benchmark must fail the script, and POSIX sh has
 # no pipefail to catch it through tee.
-if ! go test -bench 'Benchmark((Simulator|Emulator)Throughput|SampledCampaign)$' \
+if ! go test -bench 'Benchmark((Simulator|Emulator)Throughput|SampledCampaign|Sweep(No)?Ckpt)$' \
 	-benchtime "$benchtime" -run '^$' . > "$tmp" 2>&1; then
 	cat "$tmp" >&2
 	echo "bench_simcore: go test -bench failed" >&2
@@ -35,7 +35,7 @@ commit=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
 stamp=$(date -u +%Y-%m-%dT%H:%M:%SZ)
 
 awk -v go_version="$go_version" -v commit="$commit" -v stamp="$stamp" '
-/^Benchmark((Simulator|Emulator)Throughput|SampledCampaign)/ {
+/^Benchmark((Simulator|Emulator)Throughput|SampledCampaign|Sweep(No)?Ckpt)/ {
 	name = $1
 	sub(/-[0-9]+$/, "", name)
 	sub(/^Benchmark/, "", name)
@@ -51,6 +51,10 @@ END {
 	printf "  \"generated\": \"%s\",\n", stamp
 	printf "  \"commit\": \"%s\",\n", commit
 	printf "  \"go\": \"%s\",\n", go_version
+	# checkpoint_speedup is the acceptance ratio of the checkpoint store:
+	# the same 8-cell sampled IQ sweep, warm-from-scratch over resumed.
+	if (ns["SweepNoCkpt"] > 0 && ns["SweepCkpt"] > 0)
+		printf "  \"checkpoint_speedup\": %.2f,\n", ns["SweepNoCkpt"] / ns["SweepCkpt"]
 	printf "  \"benchmarks\": {\n"
 	for (i = 0; i < n; i++) {
 		name = order[i]

@@ -4,7 +4,10 @@
 # and require the export to be byte-identical to the same spec run
 # locally — with at least one job actually executed by a remote worker.
 # Then drain both workers (SIGTERM: finish, upload, deregister) and the
-# server. CI runs this on every push; it needs only bash, curl and go.
+# server. The server and both workers run with -ckpt, so the sampled
+# sweep also smokes checkpoint sharing: warm state generated on one
+# worker must be shipped through the server and reused, never recomputed.
+# CI runs this on every push; it needs only bash, curl and go.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -18,7 +21,7 @@ go build -o "$WORK/sdiqw" ./cmd/sdiqw
 go build -o "$WORK/sdiq" ./cmd/sdiq
 
 echo "== start sdiqd on $ADDR"
-"$WORK/sdiqd" -addr "$ADDR" -cache "$WORK/cache" -lease-ttl 5s >"$WORK/sdiqd.log" 2>&1 &
+"$WORK/sdiqd" -addr "$ADDR" -cache "$WORK/cache" -ckpt "$WORK/ckpt" -lease-ttl 5s >"$WORK/sdiqd.log" 2>&1 &
 SRV_PID=$!
 for _ in $(seq 1 50); do
     curl -fs "http://$ADDR/healthz" >/dev/null 2>&1 && break
@@ -27,9 +30,9 @@ done
 curl -fs "http://$ADDR/healthz" >/dev/null
 
 echo "== start 2 sdiqw workers"
-"$WORK/sdiqw" -server "http://$ADDR" -name smoke-1 -scratch "$WORK/scratch1" -parallel 2 >"$WORK/sdiqw1.log" 2>&1 &
+"$WORK/sdiqw" -server "http://$ADDR" -name smoke-1 -scratch "$WORK/scratch1" -ckpt "$WORK/ckpt1" -parallel 2 >"$WORK/sdiqw1.log" 2>&1 &
 W1_PID=$!
-"$WORK/sdiqw" -server "http://$ADDR" -name smoke-2 -scratch "$WORK/scratch2" -parallel 2 >"$WORK/sdiqw2.log" 2>&1 &
+"$WORK/sdiqw" -server "http://$ADDR" -name smoke-2 -scratch "$WORK/scratch2" -ckpt "$WORK/ckpt2" -parallel 2 >"$WORK/sdiqw2.log" 2>&1 &
 W2_PID=$!
 for _ in $(seq 1 50); do
     N=$(curl -fs "http://$ADDR/metrics" | awk '/^sdiqd_workers_connected /{print $2}')
@@ -56,6 +59,11 @@ curl -fs "http://$ADDR/metrics" | grep -E '^sdiqd_(workers_connected|jobs_remote
 grep -q '^sdiqd_jobs_remote_total [1-9]' "$WORK/metrics.txt" || { echo "no job ran remotely"; exit 1; }
 grep -q '^sdiqd_leases_expired_total 0' "$WORK/metrics.txt" || { echo "leases expired under a healthy fleet"; exit 1; }
 grep -q '^sdiqd_jobs_failed_total 0' "$WORK/metrics.txt" || { echo "jobs failed"; exit 1; }
+
+echo "== checkpoint reuse (warm state shipped through the server, not recomputed)"
+curl -fs "http://$ADDR/metrics" | grep -E '^sdiqd_ckpt_(artifacts|generated_total|hits_total|bytes_shipped_total) ' | tee "$WORK/ckpt.txt"
+grep -q '^sdiqd_ckpt_artifacts [1-9]' "$WORK/ckpt.txt" || { echo "no artifact published on the server"; exit 1; }
+grep -q '^sdiqd_ckpt_bytes_shipped_total [1-9]' "$WORK/ckpt.txt" || { echo "no artifact crossed the wire"; exit 1; }
 
 echo "== graceful worker drain (finish, upload, deregister)"
 kill -TERM "$W1_PID" "$W2_PID"

@@ -6,8 +6,9 @@
 //
 // Usage:
 //
-//	sdiqd [-addr :8080] [-cache DIR] [-ckpt DIR] [-parallel N] [-quota N]
-//	      [-drain 30s] [-lease-ttl 15s] [-job-retries 2]
+//	sdiqd [-addr :8080] [-cache DIR] [-ckpt DIR] [-state DIR] [-parallel N]
+//	      [-quota N] [-drain 30s] [-lease-ttl 15s] [-job-retries 2]
+//	      [-registry-ttl 0] [-cache-max-bytes 0] [-gc-interval 1m]
 //
 // -parallel bounds concurrent in-process simulations across all
 // campaigns (0 = GOMAXPROCS); -quota caps active campaigns per client
@@ -26,6 +27,19 @@
 // artifacts from /v1/checkpoints and push ones they generate).
 // DELETE /v1/campaigns/{id} garbage-collects artifacts no remaining
 // campaign references.
+//
+// -state makes the control plane durable: campaign submissions and
+// every job-state transition are written (fsync'd) to a per-campaign
+// write-ahead log with periodic snapshot compaction. After a crash or
+// restart, sdiqd recovers every campaign, re-runs unfinished ones —
+// already-finished jobs come back as result-cache hits, never duplicate
+// simulations (pair -state with -cache) — and resumes serving status,
+// events and exports to reconnecting clients and workers.
+//
+// -registry-ttl evicts finished campaigns (memory, durable state and
+// orphaned checkpoint artifacts) that long after completion;
+// -cache-max-bytes bounds the result cache, evicting least recently
+// used entries; -gc-interval is how often both bounds are enforced.
 //
 //	sdiqd -addr :8080 -cache /var/cache/sdiq &
 //	sdiqw -server http://localhost:8080 -scratch /tmp/sdiqw &
@@ -52,11 +66,15 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	cacheDir := flag.String("cache", "", "shared on-disk result cache directory (strongly recommended)")
 	ckptDir := flag.String("ckpt", "", "checkpoint artifact store directory (amortizes sampled-sweep warming)")
+	stateDir := flag.String("state", "", "durable control-plane state directory (campaigns survive restarts)")
 	parallel := flag.Int("parallel", 0, "max concurrent simulations fleet-wide (0 = GOMAXPROCS)")
 	quota := flag.Int("quota", 0, "max active campaigns per client (0 = unlimited)")
 	drain := flag.Duration("drain", 30*time.Second, "grace period for running campaigns on shutdown")
 	leaseTTL := flag.Duration("lease-ttl", 15*time.Second, "worker lease lifetime between heartbeats")
 	jobRetries := flag.Int("job-retries", 2, "re-lease attempts after a failed lease before local fallback (negative = none)")
+	registryTTL := flag.Duration("registry-ttl", 0, "evict finished campaigns this long after completion (0 = keep until DELETE)")
+	cacheMaxBytes := flag.Int64("cache-max-bytes", 0, "result cache size bound, LRU-evicted (0 = unbounded)")
+	gcInterval := flag.Duration("gc-interval", 0, "how often registry/cache bounds are enforced (0 = 1m)")
 	flag.Parse()
 
 	log.SetPrefix("sdiqd: ")
@@ -65,10 +83,14 @@ func main() {
 	s := serve.New(serve.Config{
 		CacheDir:       *cacheDir,
 		CkptDir:        *ckptDir,
+		StateDir:       *stateDir,
 		Workers:        *parallel,
 		QuotaPerClient: *quota,
 		LeaseTTL:       *leaseTTL,
 		JobRetries:     *jobRetries,
+		RegistryTTL:    *registryTTL,
+		CacheMaxBytes:  *cacheMaxBytes,
+		GCInterval:     *gcInterval,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
 

@@ -8,14 +8,20 @@
 // Usage:
 //
 //	sdiqw -server http://host:8080 [-name NAME] [-scratch DIR]
-//	      [-ckpt DIR] [-parallel N]
+//	      [-scratch-max-bytes N] [-ckpt DIR] [-parallel N]
 //
 // -scratch is the worker's local result cache: a job this worker has
-// run before is answered from disk. -ckpt is the worker's local
+// run before is answered from disk (-scratch-max-bytes bounds it,
+// evicting least recently used results). -ckpt is the worker's local
 // checkpoint artifact store: sampled jobs download the sweep's shared
 // warm state from the server (or generate and push it back) instead of
 // re-warming per cell. -parallel is how many jobs run concurrently
 // (default: GOMAXPROCS).
+//
+// The worker survives coordinator restarts: registration and lease
+// polls retry with jittered exponential backoff, and when the server
+// comes back with no memory of this worker it simply re-registers —
+// scratch-cached results make any re-leased jobs cheap.
 //
 // On SIGTERM/SIGINT the worker drains: it stops taking leases, finishes
 // and uploads in-flight jobs, then deregisters. A second signal aborts
@@ -43,6 +49,7 @@ func main() {
 	server := flag.String("server", "http://localhost:8080", "sdiqd base URL")
 	name := flag.String("name", "", "worker name (default: hostname)")
 	scratch := flag.String("scratch", "", "local result cache directory (recommended)")
+	scratchMax := flag.Int64("scratch-max-bytes", 0, "scratch cache size bound, LRU-evicted (0 = unbounded)")
 	ckptDir := flag.String("ckpt", "", "local checkpoint artifact store directory")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent jobs")
 	flag.Parse()
@@ -51,12 +58,13 @@ func main() {
 	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
 
 	w := &worker.Worker{
-		Server:      *server,
-		Name:        *name,
-		Scratch:     *scratch,
-		Ckpt:        *ckptDir,
-		Concurrency: *parallel,
-		Logf:        log.Printf,
+		Server:          *server,
+		Name:            *name,
+		Scratch:         *scratch,
+		ScratchMaxBytes: *scratchMax,
+		Ckpt:            *ckptDir,
+		Concurrency:     *parallel,
+		Logf:            log.Printf,
 	}
 
 	ctx, cancel := context.WithCancel(context.Background())

@@ -5,8 +5,12 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
+	"time"
 
 	"repro/internal/power"
 )
@@ -85,6 +89,66 @@ func (c *Cache) Put(key string, res Result) error {
 	return c.dc.put(key, res)
 }
 
+// GC bounds the cache directory to maxBytes by evicting entries least
+// recently used first (every hit refreshes an entry's mtime, so mtime
+// order is recency order). Eviction is an accelerator trade, never a
+// correctness event: an evicted result simply re-simulates on its next
+// request. Returns how many entries were evicted and how many bytes
+// they held. A nil cache or non-positive bound is a no-op.
+func (c *Cache) GC(maxBytes int64) (evicted int, reclaimed int64, err error) {
+	if c == nil || maxBytes <= 0 {
+		return 0, 0, nil
+	}
+	return c.dc.gc(maxBytes)
+}
+
+// cacheEntry is one on-disk result during a GC scan.
+type cacheEntry struct {
+	path  string
+	size  int64
+	mtime time.Time
+}
+
+// gc walks the sharded cache directory and deletes oldest-mtime entries
+// until the total is at or under maxBytes. Concurrent readers of a
+// deleted entry observe a miss, concurrent writers win the race
+// harmlessly (their fresh mtime puts them at the back of the LRU).
+func (c *diskCache) gc(maxBytes int64) (int, int64, error) {
+	var entries []cacheEntry
+	var total int64
+	err := filepath.WalkDir(c.dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(d.Name(), ".json") || strings.HasPrefix(d.Name(), ".") {
+			return nil // temp files and foreign droppings are not ours to evict
+		}
+		info, ierr := d.Info()
+		if ierr != nil {
+			return nil
+		}
+		entries = append(entries, cacheEntry{path: path, size: info.Size(), mtime: info.ModTime()})
+		total += info.Size()
+		return nil
+	})
+	if err != nil {
+		return 0, 0, fmt.Errorf("campaign: cache gc: %w", err)
+	}
+	if total <= maxBytes {
+		return 0, 0, nil
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].mtime.Before(entries[j].mtime) })
+	evicted, reclaimed := 0, int64(0)
+	for _, e := range entries {
+		if total-reclaimed <= maxBytes {
+			break
+		}
+		if os.Remove(e.path) != nil {
+			continue // already gone (racing GC or manual cleanup)
+		}
+		evicted++
+		reclaimed += e.size
+	}
+	return evicted, reclaimed, nil
+}
+
 // diskCache persists one Result per content hash under a directory,
 // sharded by the key's first byte to keep directories small. A missing
 // or unreadable entry is a miss, never an error: the cache is an
@@ -108,8 +172,11 @@ func (c *diskCache) path(key string) string {
 }
 
 // get loads a cached result; ok is false on miss or a corrupt entry.
+// Hits refresh the entry's mtime (best-effort) so the GC's mtime order
+// approximates least-recently-used rather than least-recently-written.
 func (c *diskCache) get(key string) (Result, bool) {
-	raw, err := os.ReadFile(c.path(key))
+	p := c.path(key)
+	raw, err := os.ReadFile(p)
 	if err != nil {
 		return Result{}, false
 	}
@@ -117,6 +184,8 @@ func (c *diskCache) get(key string) (Result, bool) {
 	if err := json.Unmarshal(raw, &res); err != nil {
 		return Result{}, false
 	}
+	now := time.Now()
+	_ = os.Chtimes(p, now, now)
 	res.Cached = true
 	return res, true
 }

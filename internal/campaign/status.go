@@ -200,6 +200,36 @@ func (t *Tracker) jobFailed(j *Job, err error) {
 	})
 }
 
+// Restore primes the tracker with job statuses recovered from durable
+// state (the campaign service's WAL): each known job's status is
+// replaced wholesale and the aggregate counters are rebuilt from it, as
+// if the transitions had been observed live. Unknown IDs are ignored
+// (spec drift across restarts loses those jobs' history, nothing more).
+// OnChange is not fired: restoration is priming, not progress.
+func (t *Tracker) Restore(jobs []JobStatus) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, js := range jobs {
+		cur, ok := t.jobs[js.ID]
+		if !ok {
+			continue
+		}
+		t.leave(cur.State)
+		*cur = js
+		t.enter(js.State)
+		if js.State == JobDone {
+			switch {
+			case js.Dedup:
+				t.stat.DedupHits++
+			case js.Cached:
+				t.stat.CacheHits++
+			default:
+				t.stat.Executed++
+			}
+		}
+	}
+}
+
 // FinishSkipped marks every job still pending or running as skipped —
 // called once the campaign has returned, so a cancelled campaign's
 // status doesn't report abandoned jobs as forever pending.

@@ -5,8 +5,10 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"strings"
 	"time"
@@ -27,6 +29,72 @@ type Client struct {
 	// OnEvent, when non-nil, observes every event Run receives — the
 	// hook CLI progress output hangs off.
 	OnEvent func(Event)
+
+	// RetryBase/RetryMax shape the jittered exponential backoff Run uses
+	// to survive server restarts (defaults 200ms / 5s). MaxOffline
+	// bounds how long Run keeps retrying an unreachable server before
+	// giving up (default 2m).
+	RetryBase  time.Duration
+	RetryMax   time.Duration
+	MaxOffline time.Duration
+}
+
+// HTTPError is an answered non-2xx API response. Errors from the client
+// are *HTTPError whenever the server replied at all; transport failures
+// stay plainly wrapped — the distinction is what Run's reconnect logic
+// keys off (an answered 404 means the server is alive but forgot the
+// campaign; a refused connection means it may be restarting).
+type HTTPError struct {
+	Code   int
+	Method string
+	Path   string
+	Msg    string // server-provided error body, may be empty
+	Status string // e.g. "404 Not Found"
+}
+
+func (e *HTTPError) Error() string {
+	if e.Msg != "" {
+		return fmt.Sprintf("serve: %s %s: %s (%s)", e.Method, e.Path, e.Msg, e.Status)
+	}
+	return fmt.Sprintf("serve: %s %s: %s", e.Method, e.Path, e.Status)
+}
+
+// httpStatus returns err's status code when it is an *HTTPError, 0 for
+// transport errors.
+func httpStatus(err error) int {
+	var he *HTTPError
+	if errors.As(err, &he) {
+		return he.Code
+	}
+	return 0
+}
+
+// backoff returns the nth (0-based) retry delay: exponential from
+// RetryBase, capped at RetryMax, with ±25% jitter.
+func (c *Client) backoff(n int) time.Duration {
+	base := c.RetryBase
+	if base <= 0 {
+		base = 200 * time.Millisecond
+	}
+	ceil := c.RetryMax
+	if ceil <= 0 {
+		ceil = 5 * time.Second
+	}
+	d := base
+	for i := 0; i < n && d < ceil; i++ {
+		d *= 2
+	}
+	if d > ceil {
+		d = ceil
+	}
+	return d*3/4 + time.Duration(rand.Int63n(int64(d)/2+1))
+}
+
+func (c *Client) maxOffline() time.Duration {
+	if c.MaxOffline > 0 {
+		return c.MaxOffline
+	}
+	return 2 * time.Minute
 }
 
 // NewClient returns a client for the server at base.
@@ -59,10 +127,11 @@ func (c *Client) do(ctx context.Context, method, path string, body io.Reader) (*
 	if resp.StatusCode >= 400 {
 		defer resp.Body.Close()
 		var apiErr apiError
-		if json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&apiErr) == nil && apiErr.Error != "" {
-			return nil, fmt.Errorf("serve: %s %s: %s (%s)", method, path, apiErr.Error, resp.Status)
+		_ = json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&apiErr)
+		return nil, &HTTPError{
+			Code: resp.StatusCode, Method: method, Path: path,
+			Msg: apiErr.Error, Status: resp.Status,
 		}
-		return nil, fmt.Errorf("serve: %s %s: %s", method, path, resp.Status)
 	}
 	return resp, nil
 }
@@ -159,49 +228,125 @@ func (c *Client) ResultSet(ctx context.Context, id string) (*campaign.ResultSet,
 }
 
 // Run is the remote analogue of Engine.Run: submit the spec, follow its
-// progress (relaying to OnEvent), and return the finished ResultSet. A
-// broken event stream degrades to polling; a failed campaign returns
-// its server-side error.
+// progress (relaying to OnEvent), and return the finished ResultSet.
+// Run survives server restarts: a broken stream is re-opened with
+// jittered backoff (events already relayed are filtered by sequence
+// number; a durable server replays history, possibly pre-folded into a
+// snapshot event), a server that came back with no memory of the
+// campaign gets the spec resubmitted (the shared result cache makes the
+// re-run cheap), and an unreachable server is retried for up to
+// MaxOffline before Run gives up. A failed campaign returns its
+// server-side error.
 func (c *Client) Run(ctx context.Context, spec campaign.Spec) (*campaign.ResultSet, error) {
 	sub, err := c.Submit(ctx, spec)
 	if err != nil {
 		return nil, err
 	}
+
 	var done *Event
-	// The stream's transport error is deliberately dropped once the
-	// done event is in hand: the outcome is known, and the export fetch
-	// below stands on its own connection.
-	_ = c.Stream(ctx, sub.ID, func(ev Event) error {
-		if c.OnEvent != nil {
-			c.OnEvent(ev)
-		}
-		if ev.Type == EventDone {
-			ev := ev
-			done = &ev
-		}
-		return nil
-	})
-	if done == nil {
+	lastSeq := -1
+	var offlineSince time.Time
+	fails := 0
+	for done == nil {
 		if ctx.Err() != nil {
 			return nil, ctx.Err()
 		}
-		// The stream broke mid-campaign; fall back to polling status.
-		var info CampaignInfo
-		for !info.Done {
-			select {
-			case <-ctx.Done():
-				return nil, ctx.Err()
-			case <-time.After(200 * time.Millisecond):
+		_ = c.Stream(ctx, sub.ID, func(ev Event) error {
+			if ev.Type == EventSnapshot {
+				// A compaction snapshot stands in for folded history;
+				// relay it even when it overlaps what we saw live.
+				if ev.Seq > lastSeq {
+					lastSeq = ev.Seq
+				}
+			} else {
+				if ev.Seq <= lastSeq {
+					return nil // replayed history we already relayed
+				}
+				lastSeq = ev.Seq
 			}
-			if info, err = c.Status(ctx, sub.ID); err != nil {
+			if c.OnEvent != nil {
+				c.OnEvent(ev)
+			}
+			if ev.Type == EventDone {
+				ev := ev
+				done = &ev
+			}
+			return nil
+		})
+		if done != nil {
+			// The stream's transport error is deliberately dropped once
+			// the done event is in hand: the outcome is known, and the
+			// export fetch below stands on its own connection.
+			break
+		}
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		// The stream broke mid-campaign (server restart, network hiccup).
+		// Probe the status to decide how to resume.
+		info, serr := c.Status(ctx, sub.ID)
+		switch {
+		case serr == nil:
+			offlineSince, fails = time.Time{}, 0
+			if info.Done {
+				if info.Error != "" {
+					return nil, fmt.Errorf("%w: %s", errCampaignFailed, info.Error)
+				}
+				done = &Event{Type: EventDone, Campaign: sub.ID}
+			}
+			continue // server is alive: re-attach the stream
+		case httpStatus(serr) == http.StatusNotFound:
+			// The server restarted without durable state — the campaign
+			// is gone. Resubmit and follow the new one from scratch.
+			if sub, err = c.Submit(ctx, spec); err != nil {
 				return nil, err
 			}
+			lastSeq, offlineSince, fails = -1, time.Time{}, 0
+			continue
+		case httpStatus(serr) != 0:
+			return nil, serr // answered with an error waiting cannot fix
 		}
-		if info.Error != "" {
-			return nil, fmt.Errorf("%w: %s", errCampaignFailed, info.Error)
+		// Transport error: the server may be restarting. Back off, bounded.
+		if offlineSince.IsZero() {
+			offlineSince = time.Now()
 		}
-	} else if done.Error != "" {
+		if time.Since(offlineSince) > c.maxOffline() {
+			return nil, fmt.Errorf("serve: server unreachable for %v: %w", c.maxOffline(), serr)
+		}
+		fails++
+		select {
+		case <-time.After(c.backoff(fails - 1)):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	if done.Error != "" {
 		return nil, fmt.Errorf("%w: %s", errCampaignFailed, done.Error)
 	}
-	return c.ResultSet(ctx, sub.ID)
+
+	// Fetch the export, surviving a restart racing it: a just-recovered
+	// server briefly re-runs the campaign from cache (409 while it
+	// finishes) or may still be coming up (transport error).
+	offlineSince, fails = time.Time{}, 0
+	for {
+		rs, err := c.ResultSet(ctx, sub.ID)
+		if err == nil {
+			return rs, nil
+		}
+		if code := httpStatus(err); code != 0 && code != http.StatusConflict {
+			return nil, err
+		}
+		if offlineSince.IsZero() {
+			offlineSince = time.Now()
+		}
+		if time.Since(offlineSince) > c.maxOffline() {
+			return nil, err
+		}
+		fails++
+		select {
+		case <-time.After(c.backoff(fails - 1)):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
 }

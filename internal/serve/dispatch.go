@@ -292,6 +292,9 @@ func (d *dispatcher) register(req worker.RegisterRequest) (worker.RegisterRespon
 	}
 	d.workers[w.id] = w
 	d.met.workersRegistered.Add(1)
+	if req.Reconnects > 0 {
+		d.met.workerReconnects.Add(1)
+	}
 	return worker.RegisterResponse{
 		WorkerID:    w.id,
 		LeaseTTLMS:  d.ttl.Milliseconds(),

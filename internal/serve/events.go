@@ -28,25 +28,44 @@ type Event struct {
 	Error string `json:"error,omitempty"`
 }
 
-// Event types.
+// Event types. "snapshot" is synthetic: it replaces a compacted prefix
+// of the log with each folded job's latest status (in Status.Jobs), so
+// late joiners replay O(jobs + recent tail) instead of O(transitions).
 const (
 	EventSubmitted = "submitted"
 	EventJob       = "job"
 	EventDone      = "done"
+	EventSnapshot  = "snapshot"
 )
+
+// defaultCompactAfter bounds the in-memory tail of a campaign's event
+// log before it is folded into a snapshot. Large enough that small
+// campaigns never compact (their full history stays replayable event by
+// event), small enough that a million-job sweep doesn't hold — or
+// replay — a million transitions.
+const defaultCompactAfter = 4096
 
 // hub is a per-campaign append-only event log with broadcast: publish
 // appends and wakes every waiting subscriber; subscribers read the log
-// by index so no event is ever dropped or reordered.
+// by sequence number so no event is ever dropped or reordered. Once the
+// log outgrows compactAfter, the older half is folded into a single
+// snapshot event; replay then serves snapshot + tail.
 type hub struct {
-	mu     sync.Mutex
-	events []Event
-	closed bool
-	wake   chan struct{} // closed and replaced on every publish/close
+	mu           sync.Mutex
+	compactAfter int
+	total        int    // campaign job count, for snapshot Pending math
+	base         int    // Seq of events[0]; earlier history lives in snap
+	snap         *Event // folded prefix (nil until first compaction)
+	events       []Event
+	closed       bool
+	wake         chan struct{} // closed and replaced on every publish/close
 }
 
-func newHub() *hub {
-	return &hub{wake: make(chan struct{})}
+func newHub(total, compactAfter int) *hub {
+	if compactAfter <= 0 {
+		compactAfter = defaultCompactAfter
+	}
+	return &hub{total: total, compactAfter: compactAfter, wake: make(chan struct{})}
 }
 
 // publish stamps and appends ev. Publishing after close is a no-op (the
@@ -57,11 +76,88 @@ func (h *hub) publish(ev Event) {
 	if h.closed {
 		return
 	}
-	ev.Seq = len(h.events)
+	ev.Seq = h.base + len(h.events)
 	ev.Time = time.Now().UTC()
 	h.events = append(h.events, ev)
+	if len(h.events) > h.compactAfter {
+		h.compactLocked()
+	}
 	close(h.wake)
 	h.wake = make(chan struct{})
+}
+
+// compactLocked folds all but the newest compactAfter/2 events into the
+// snapshot: per job, only the latest status survives. The tail keeps
+// real events so attached subscribers never see a synthetic snapshot
+// mid-stream — only late joiners start from one. The just-published
+// newest event is always in the kept tail, so a "done" event is never
+// folded away (close follows it immediately).
+func (h *hub) compactLocked() {
+	keep := h.compactAfter / 2
+	if keep < 1 {
+		keep = 1
+	}
+	if len(h.events) <= keep {
+		return
+	}
+	fold := h.events[:len(h.events)-keep]
+
+	// Seed the roster from the previous snapshot, then overlay the
+	// folded transitions; first-touch order keeps replay deterministic.
+	var roster []campaign.JobStatus
+	index := make(map[string]int)
+	if h.snap != nil && h.snap.Status != nil {
+		roster = append(roster, h.snap.Status.Jobs...)
+		for i, js := range roster {
+			index[js.ID] = i
+		}
+	}
+	for _, ev := range fold {
+		if ev.Job == nil {
+			continue // submitted/done markers fold into the status itself
+		}
+		if i, ok := index[ev.Job.ID]; ok {
+			roster[i] = *ev.Job
+		} else {
+			index[ev.Job.ID] = len(roster)
+			roster = append(roster, *ev.Job)
+		}
+	}
+
+	st := &campaign.Status{Total: h.total, Pending: h.total - len(roster), Jobs: roster}
+	for _, js := range roster {
+		switch js.State {
+		case campaign.JobPending:
+			st.Pending++
+		case campaign.JobRunning:
+			st.Running++
+		case campaign.JobDone:
+			st.Done++
+			switch {
+			case js.Dedup:
+				st.DedupHits++
+			case js.Cached:
+				st.CacheHits++
+			default:
+				st.Executed++
+			}
+		case campaign.JobFailed:
+			st.Failed++
+		case campaign.JobSkipped:
+			st.Skipped++
+		}
+	}
+
+	last := fold[len(fold)-1]
+	h.snap = &Event{
+		Seq:      last.Seq,
+		Time:     last.Time,
+		Type:     EventSnapshot,
+		Campaign: last.Campaign,
+		Status:   st,
+	}
+	h.base += len(fold)
+	h.events = append([]Event(nil), h.events[len(fold):]...)
 }
 
 // close marks the log complete and wakes all subscribers one last time.
@@ -76,16 +172,24 @@ func (h *hub) close() {
 	h.wake = make(chan struct{})
 }
 
-// since returns the events at index >= from, whether the log is
-// complete, and a channel that signals the next change.
-func (h *hub) since(from int) ([]Event, bool, <-chan struct{}) {
+// since returns the events with Seq >= from, the cursor to resume from,
+// whether the log is complete, and a channel signalling the next
+// change. A cursor that predates the compacted tail gets the snapshot
+// event first — the replayed history is equivalent, just pre-folded.
+func (h *hub) since(from int) (evs []Event, next int, closed bool, wake <-chan struct{}) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	var evs []Event
-	if from < len(h.events) {
-		evs = h.events[from:len(h.events):len(h.events)]
+	if from < h.base {
+		if h.snap != nil {
+			evs = append(evs, *h.snap)
+		}
+		evs = append(evs, h.events...)
+		return evs, h.base + len(h.events), h.closed, h.wake
 	}
-	return evs, h.closed, h.wake
+	if i := from - h.base; i < len(h.events) {
+		evs = h.events[i:len(h.events):len(h.events)]
+	}
+	return evs, from + len(evs), h.closed, h.wake
 }
 
 // streamEvents writes a campaign's event log to w as it grows — NDJSON
@@ -106,7 +210,7 @@ func streamEvents(w http.ResponseWriter, r *http.Request, h *hub) {
 
 	next := 0
 	for {
-		evs, closed, wake := h.since(next)
+		evs, cursor, closed, wake := h.since(next)
 		for _, ev := range evs {
 			blob, err := json.Marshal(ev)
 			if err != nil {
@@ -118,7 +222,7 @@ func streamEvents(w http.ResponseWriter, r *http.Request, h *hub) {
 				fmt.Fprintf(w, "%s\n", blob)
 			}
 		}
-		next += len(evs)
+		next = cursor
 		if flusher != nil && len(evs) > 0 {
 			flusher.Flush()
 		}

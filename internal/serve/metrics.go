@@ -42,6 +42,13 @@ type metrics struct {
 
 	// Checkpoint store wire traffic (store-side counters live in ckpt).
 	ckptBytesShipped atomic.Int64 // artifact bytes served to / accepted from workers
+
+	// Durability and state bounds.
+	campaignsRecovered atomic.Int64 // campaigns resumed from durable state at boot
+	campaignsEvicted   atomic.Int64 // finished campaigns evicted by the registry TTL
+	cacheEvictions     atomic.Int64 // result-cache entries evicted by the byte bound
+	walAppends         atomic.Int64 // job transitions fsync'd to campaign WALs
+	workerReconnects   atomic.Int64 // worker re-registrations after losing the coordinator
 }
 
 // instsPerSecond is the service's aggregate simulation rate: committed
@@ -88,6 +95,11 @@ func (m *metrics) rows() []row {
 		{"sdiqd_results_rejected_total", "Uploads rejected by JobKey/identity validation.", "counter", float64(m.resultsRejected.Load())},
 		{"sdiqd_late_uploads_total", "Uploads against expired or unknown leases, discarded.", "counter", float64(m.lateUploads.Load())},
 		{"sdiqd_campaigns_deleted_total", "Campaigns dropped from the registry via DELETE.", "counter", float64(m.campaignsDeleted.Load())},
+		{"sdiqd_campaigns_recovered_total", "Campaigns resumed from durable state at boot.", "counter", float64(m.campaignsRecovered.Load())},
+		{"sdiqd_campaigns_evicted_total", "Finished campaigns evicted by the registry TTL.", "counter", float64(m.campaignsEvicted.Load())},
+		{"sdiqd_result_cache_evictions_total", "Result-cache entries evicted by the byte bound.", "counter", float64(m.cacheEvictions.Load())},
+		{"sdiqd_wal_appends_total", "Job transitions appended to campaign write-ahead logs.", "counter", float64(m.walAppends.Load())},
+		{"sdiqd_worker_reconnects_total", "Worker re-registrations after losing the coordinator.", "counter", float64(m.workerReconnects.Load())},
 	}
 }
 

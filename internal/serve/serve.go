@@ -33,6 +33,7 @@ import (
 
 	"repro/internal/campaign"
 	"repro/internal/ckpt"
+	"repro/internal/store"
 )
 
 // Config parameterises a Server.
@@ -68,6 +69,32 @@ type Config struct {
 	// lease (expiry, worker error, rejected upload) before falling back
 	// to local execution. Default 2; negative means no retries.
 	JobRetries int
+
+	// Durability and state bounds (all zero values take defaults):
+
+	// StateDir roots the durable control-plane state: per-campaign
+	// submission records plus a write-ahead log of job-state
+	// transitions. "" disables durability — a restart then forgets all
+	// campaigns, exactly the pre-durability behaviour.
+	StateDir string
+	// SnapshotEvery is the WAL-append count between snapshot
+	// compactions; 0 means store.DefaultSnapshotEvery.
+	SnapshotEvery int
+	// EventCompactAfter bounds a campaign's in-memory event tail before
+	// older events fold into a snapshot event; 0 means the default
+	// (4096). Only tests should need to lower it.
+	EventCompactAfter int
+	// RegistryTTL evicts finished campaigns from the registry (and their
+	// durable state) this long after they finish; 0 keeps them until
+	// DELETE.
+	RegistryTTL time.Duration
+	// CacheMaxBytes bounds the on-disk result cache, evicting least
+	// recently used entries; 0 means unbounded.
+	CacheMaxBytes int64
+	// GCInterval is how often the registry-TTL and cache-size bounds are
+	// enforced; 0 means every minute. Irrelevant when neither bound is
+	// set.
+	GCInterval time.Duration
 }
 
 // Server owns the campaign registry, the shared executor gate, the
@@ -79,7 +106,9 @@ type Server struct {
 	flight *campaign.Flight
 	met    metrics
 	disp   *dispatcher
-	ckpt   *ckpt.Store // nil when CkptDir is unset or unusable
+	ckpt   *ckpt.Store     // nil when CkptDir is unset or unusable
+	store  *store.Store    // nil when StateDir is unset or unusable
+	rcache *campaign.Cache // GC handle on CacheDir; nil when cache is off
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -106,6 +135,9 @@ type campaignRun struct {
 	// jobs can reference (computed once at submission). DELETE uses them
 	// to evict artifacts no remaining campaign references.
 	ckptKeys map[string]struct{}
+	// wal is the campaign's durable transition log; nil when durability
+	// is off (nil is safe to append to).
+	wal *store.Log
 
 	mu       sync.Mutex
 	done     bool
@@ -151,8 +183,162 @@ func New(cfg Config) *Server {
 	if s.ckpt, err = ckpt.Open(cfg.CkptDir); err != nil {
 		log.Printf("sdiqd: checkpoint store disabled: %v", err)
 	}
+	if s.store, err = store.Open(cfg.StateDir, cfg.SnapshotEvery); err != nil {
+		log.Printf("sdiqd: durable state disabled: %v", err)
+	}
+	if s.store != nil && cfg.CacheDir == "" {
+		log.Printf("sdiqd: durable state without a result cache: recovered campaigns will re-simulate finished jobs")
+	}
+	if s.rcache, err = campaign.OpenCache(cfg.CacheDir); err != nil {
+		log.Printf("sdiqd: result cache GC disabled: %v", err)
+	}
 	s.disp = newDispatcher(cfg, s.gate, &s.met, s.ckpt)
+	s.recover()
+	s.startJanitor()
 	return s
+}
+
+// recover folds the durable state back into the registry. Campaigns
+// that finished cleanly or were still running are resumed — re-running
+// the engine turns every already-finished job into a cache hit (the
+// cache is the durable home of results; the WAL only proves which jobs
+// finished), re-simulates only genuinely unfinished jobs, and rebuilds
+// the in-memory ResultSet so exports work again. Campaigns that failed
+// terminally come back as tombstones: status, events and the recorded
+// error are served, nothing re-runs.
+func (s *Server) recover() {
+	if s.store == nil {
+		return
+	}
+	recs, err := s.store.Recover()
+	if err != nil {
+		log.Printf("sdiqd: state recovery (intact campaigns still recovered): %v", err)
+	}
+	for _, rec := range recs {
+		if n, ok := campaignSeq(rec.Meta.ID); ok && n > s.seq {
+			s.seq = n // never reissue a recovered campaign's ID
+		}
+		jobs, jerr := rec.Meta.Spec.Jobs()
+		if jerr != nil {
+			log.Printf("sdiqd: recover %s: spec no longer expands: %v", rec.Meta.ID, jerr)
+			continue
+		}
+		rc := &campaignRun{
+			id:        rec.Meta.ID,
+			client:    rec.Meta.Client,
+			spec:      rec.Meta.Spec,
+			jobs:      len(jobs),
+			submitted: rec.Meta.Submitted,
+			tracker:   campaign.NewTracker(jobs),
+			hub:       newHub(len(jobs), s.cfg.EventCompactAfter),
+			ckptKeys:  ckptKeysOf(s.ckpt, jobs),
+		}
+		s.campaigns[rc.id] = rc
+		s.order = append(s.order, rc.id)
+
+		if rec.Snap.Done && rec.Snap.Error != "" {
+			// Terminal failure: restore the recorded job states and
+			// replay them as events, then close the log. No ResultSet
+			// survives a restart, so exports answer 422 with the error —
+			// same as they did before the crash.
+			rc.tracker.Restore(rec.Snap.Jobs)
+			rc.done, rc.finished = true, rec.Snap.Finished
+			rc.err = errors.New(rec.Snap.Error)
+			rc.hub.publish(Event{Type: EventSubmitted, Campaign: rc.id})
+			for i := range rec.Snap.Jobs {
+				rc.hub.publish(Event{Type: EventJob, Campaign: rc.id, Job: &rec.Snap.Jobs[i]})
+			}
+			st := rc.tracker.Snapshot()
+			st.Jobs = nil
+			rc.hub.publish(Event{Type: EventDone, Campaign: rc.id, Status: &st, Error: rec.Snap.Error})
+			rc.hub.close()
+			continue
+		}
+
+		var rerr error
+		if rc.wal, rerr = s.store.Resume(rec); rerr != nil {
+			log.Printf("sdiqd: recover %s: wal resume: %v (re-running without durability)", rc.id, rerr)
+		}
+		s.active[rc.client]++
+		s.wg.Add(1)
+		s.met.campaignsRecovered.Add(1)
+		s.met.campaignsActive.Add(1)
+		rc.hub.publish(Event{Type: EventSubmitted, Campaign: rc.id})
+		go s.run(rc)
+	}
+}
+
+// campaignSeq parses the numeric suffix of a "c%04d" campaign ID.
+func campaignSeq(id string) (int, bool) {
+	var n int
+	if _, err := fmt.Sscanf(id, "c%d", &n); err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// startJanitor enforces the registry-TTL and cache-size bounds on a
+// timer until the server closes. No bounds, no goroutine.
+func (s *Server) startJanitor() {
+	if s.cfg.RegistryTTL <= 0 && s.cfg.CacheMaxBytes <= 0 {
+		return
+	}
+	interval := s.cfg.GCInterval
+	if interval <= 0 {
+		interval = time.Minute
+	}
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-s.ctx.Done():
+				return
+			case <-t.C:
+				s.gcOnce()
+			}
+		}
+	}()
+}
+
+// gcOnce applies both state bounds: finished campaigns past the
+// registry TTL are dropped (registry, durable state, orphaned
+// checkpoint artifacts), and the result cache is trimmed to its byte
+// bound, LRU first.
+func (s *Server) gcOnce() {
+	if ttl := s.cfg.RegistryTTL; ttl > 0 {
+		cutoff := time.Now().Add(-ttl)
+		s.mu.Lock()
+		var victims []string
+		for id, rc := range s.campaigns {
+			if done, finished, _, _ := rc.state(); done && finished.Before(cutoff) {
+				victims = append(victims, id)
+			}
+		}
+		s.mu.Unlock()
+		// Durable state goes first: a crash between the two removals
+		// must forget the campaign, not resurrect a half-evicted one.
+		for _, id := range victims {
+			s.store.Remove(id)
+			s.met.campaignsEvicted.Add(1)
+		}
+		var orphans []string
+		s.mu.Lock()
+		for _, id := range victims {
+			orphans = append(orphans, s.dropLocked(id)...)
+		}
+		s.mu.Unlock()
+		for _, k := range orphans {
+			s.ckpt.Remove(k)
+		}
+	}
+	if max := s.cfg.CacheMaxBytes; max > 0 {
+		if n, _, err := s.rcache.GC(max); err != nil {
+			log.Printf("sdiqd: result cache gc: %v", err)
+		} else if n > 0 {
+			s.met.cacheEvictions.Add(int64(n))
+		}
+	}
 }
 
 // Handler returns the service's HTTP routes.
@@ -290,7 +476,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		jobs:      len(jobs),
 		submitted: time.Now().UTC(),
 		tracker:   campaign.NewTracker(jobs),
-		hub:       newHub(),
+		hub:       newHub(len(jobs), s.cfg.EventCompactAfter),
 		ckptKeys:  ckptKeys,
 	}
 	s.campaigns[id] = rc
@@ -300,6 +486,16 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// concurrent Drain either rejected this submission or waits for it.
 	s.wg.Add(1)
 	s.mu.Unlock()
+
+	// Persist the submission before acknowledging it. A WAL that fails
+	// to open degrades this campaign to in-memory only — same trade as
+	// the checkpoint store: durability is a feature, not a gate.
+	var werr error
+	if rc.wal, werr = s.store.Create(store.Meta{
+		ID: id, Client: client, Submitted: rc.submitted, Jobs: len(jobs), Spec: spec,
+	}); werr != nil {
+		log.Printf("sdiqd: %s: durable state disabled for this campaign: %v", id, werr)
+	}
 
 	s.met.campaignsSubmitted.Add(1)
 	s.met.campaignsActive.Add(1)
@@ -347,12 +543,40 @@ func (s *Server) run(rc *campaignRun) {
 	}
 	rc.tracker.OnChange = func(js campaign.JobStatus) {
 		rc.hub.publish(Event{Type: EventJob, Campaign: rc.id, Job: &js})
+		if rc.wal == nil {
+			return
+		}
+		// The engine writes results to the cache before this callback
+		// fires, so a crash between cache write and WAL append recovers
+		// the job as a cache hit — never a duplicate simulation.
+		if werr := rc.wal.JobChanged(js); werr != nil {
+			log.Printf("sdiqd: %s: wal append: %v", rc.id, werr)
+		} else {
+			s.met.walAppends.Add(1)
+		}
 	}
 	rc.tracker.Attach(eng)
 
 	rs, err := eng.Run(s.ctx, rc.spec)
 	rc.tracker.FinishSkipped()
 	rc.finish(rs, err)
+
+	// The terminal record is written only when the campaign genuinely
+	// ended. A failure caused by server shutdown (drain deadline, test
+	// kill — the crash-injection suite relies on this) leaves no done
+	// record, so the next boot resumes the campaign instead of
+	// tombstoning a failure the campaign never earned.
+	if err == nil || s.ctx.Err() == nil {
+		errMsg := ""
+		if err != nil {
+			errMsg = err.Error()
+		}
+		_, finished, _, _ := rc.state()
+		if werr := rc.wal.Done(errMsg, finished); werr != nil {
+			log.Printf("sdiqd: %s: wal done record: %v", rc.id, werr)
+		}
+	}
+	rc.wal.Close()
 
 	st := rc.tracker.Snapshot()
 	st.Jobs = nil // the done event carries the summary, not the roster
@@ -552,6 +776,25 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusConflict, "campaign %s is still running", id)
 		return
 	}
+	orphans := s.dropLocked(id)
+	s.mu.Unlock()
+	s.store.Remove(id)
+	for _, k := range orphans {
+		s.ckpt.Remove(k)
+	}
+	s.met.campaignsDeleted.Add(1)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// dropLocked removes a campaign from the registry (the caller holds
+// s.mu) and returns the checkpoint keys orphaned by its departure: the
+// campaign's keys minus every key a surviving campaign (running or
+// finished) can still reference.
+func (s *Server) dropLocked(id string) []string {
+	rc, ok := s.campaigns[id]
+	if !ok {
+		return nil
+	}
 	delete(s.campaigns, id)
 	for i, oid := range s.order {
 		if oid == id {
@@ -559,8 +802,6 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 			break
 		}
 	}
-	// Orphan detection: the deleted campaign's keys minus every key a
-	// surviving campaign (running or finished) can still reference.
 	var orphans []string
 	for k := range rc.ckptKeys {
 		referenced := false
@@ -574,12 +815,7 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 			orphans = append(orphans, k)
 		}
 	}
-	s.mu.Unlock()
-	for _, k := range orphans {
-		s.ckpt.Remove(k)
-	}
-	s.met.campaignsDeleted.Add(1)
-	w.WriteHeader(http.StatusNoContent)
+	return orphans
 }
 
 // errCampaignFailed wraps a failed campaign's server-side error for

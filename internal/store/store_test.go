@@ -1,0 +1,344 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/campaign"
+)
+
+func testMeta(id string) Meta {
+	spec := campaign.DefaultSpec(4_000)
+	spec.Name = "store-test"
+	spec.Benchmarks = []string{"gzip"}
+	spec.Techniques = []campaign.Technique{campaign.TechBaseline, campaign.TechNOOP}
+	return Meta{
+		ID:        id,
+		Client:    "tester",
+		Submitted: time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC),
+		Jobs:      2,
+		Spec:      spec,
+	}
+}
+
+func js(id string, state campaign.JobState) campaign.JobStatus {
+	return campaign.JobStatus{ID: id, Bench: "gzip", State: state}
+}
+
+func openStore(t *testing.T, dir string, every int) *Store {
+	t.Helper()
+	st, err := Open(dir, every)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return st
+}
+
+func recoverOne(t *testing.T, st *Store) Recovered {
+	t.Helper()
+	recs, err := st.Recover()
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("recovered %d campaigns, want 1", len(recs))
+	}
+	return recs[0]
+}
+
+// TestRoundTrip is the basic contract: what a log records is what
+// recovery folds back, spec included.
+func TestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	st := openStore(t, dir, 0)
+
+	l, err := st.Create(testMeta("c0001"))
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if err := l.JobChanged(js("gzip/baseline", campaign.JobRunning)); err != nil {
+		t.Fatalf("JobChanged: %v", err)
+	}
+	done := js("gzip/baseline", campaign.JobDone)
+	done.IPC = 1.25
+	if err := l.JobChanged(done); err != nil {
+		t.Fatalf("JobChanged: %v", err)
+	}
+	if err := l.JobChanged(js("gzip/noop", campaign.JobRunning)); err != nil {
+		t.Fatalf("JobChanged: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	rec := recoverOne(t, openStore(t, dir, 0))
+	if rec.Meta.ID != "c0001" || rec.Meta.Client != "tester" || rec.Meta.Jobs != 2 {
+		t.Fatalf("meta mismatch: %+v", rec.Meta)
+	}
+	jobs, err := rec.Meta.Spec.Jobs()
+	if err != nil {
+		t.Fatalf("recovered spec does not expand: %v", err)
+	}
+	if len(jobs) != 2 {
+		t.Fatalf("recovered spec expands to %d jobs, want 2", len(jobs))
+	}
+	if rec.Snap.Done {
+		t.Fatalf("campaign recovered as done")
+	}
+	if len(rec.Snap.Jobs) != 2 {
+		t.Fatalf("recovered %d job states, want 2: %+v", len(rec.Snap.Jobs), rec.Snap.Jobs)
+	}
+	if got := rec.Snap.Jobs[0]; got.ID != "gzip/baseline" || got.State != campaign.JobDone || got.IPC != 1.25 {
+		t.Fatalf("job 0 folded wrong: %+v", got)
+	}
+	if got := rec.Snap.Jobs[1]; got.ID != "gzip/noop" || got.State != campaign.JobRunning {
+		t.Fatalf("job 1 folded wrong: %+v", got)
+	}
+}
+
+// TestDoneRecordAndCompaction: Done() snapshots and truncates, so a
+// finished campaign recovers from the snapshot alone with an empty WAL.
+func TestDoneRecordAndCompaction(t *testing.T) {
+	dir := t.TempDir()
+	st := openStore(t, dir, 0)
+	l, err := st.Create(testMeta("c0001"))
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	fin := time.Date(2026, 8, 8, 13, 0, 0, 0, time.UTC)
+	if err := l.JobChanged(js("gzip/baseline", campaign.JobDone)); err != nil {
+		t.Fatalf("JobChanged: %v", err)
+	}
+	if err := l.Done("boom", fin); err != nil {
+		t.Fatalf("Done: %v", err)
+	}
+	l.Close()
+
+	wal, err := os.Stat(filepath.Join(dir, "campaigns", "c0001", walName))
+	if err != nil {
+		t.Fatalf("wal stat: %v", err)
+	}
+	if wal.Size() != 0 {
+		t.Fatalf("wal not truncated after Done: %d bytes", wal.Size())
+	}
+	rec := recoverOne(t, openStore(t, dir, 0))
+	if !rec.Snap.Done || rec.Snap.Error != "boom" || !rec.Snap.Finished.Equal(fin) {
+		t.Fatalf("done state lost: %+v", rec.Snap)
+	}
+}
+
+// TestSnapshotCompactionEquivalence: with aggressive compaction the WAL
+// stays bounded and recovery equals what an uncompacted log folds.
+func TestSnapshotCompactionEquivalence(t *testing.T) {
+	compactDir, plainDir := t.TempDir(), t.TempDir()
+	lc, err := openStore(t, compactDir, 3).Create(testMeta("c0001"))
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	lp, err := openStore(t, plainDir, 1_000_000).Create(testMeta("c0001"))
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	ids := []string{"gzip/baseline", "gzip/noop", "mcf/baseline", "mcf/noop"}
+	states := []campaign.JobState{campaign.JobRunning, campaign.JobDone}
+	for _, state := range states {
+		for _, id := range ids {
+			for _, l := range []*Log{lc, lp} {
+				if err := l.JobChanged(js(id, state)); err != nil {
+					t.Fatalf("JobChanged: %v", err)
+				}
+			}
+		}
+	}
+	lc.Close()
+	lp.Close()
+
+	// The compacting log's WAL holds at most `every` records.
+	cw, _ := os.ReadFile(filepath.Join(compactDir, "campaigns", "c0001", walName))
+	pw, _ := os.ReadFile(filepath.Join(plainDir, "campaigns", "c0001", walName))
+	if len(cw) >= len(pw) {
+		t.Fatalf("compaction did not shrink the wal: %d vs %d bytes", len(cw), len(pw))
+	}
+
+	rc := recoverOne(t, openStore(t, compactDir, 3))
+	rp := recoverOne(t, openStore(t, plainDir, 1_000_000))
+	if len(rc.Snap.Jobs) != len(rp.Snap.Jobs) {
+		t.Fatalf("job counts differ: %d vs %d", len(rc.Snap.Jobs), len(rp.Snap.Jobs))
+	}
+	for i := range rc.Snap.Jobs {
+		if rc.Snap.Jobs[i] != rp.Snap.Jobs[i] {
+			t.Fatalf("job %d differs after compaction:\n compacted %+v\n plain     %+v",
+				i, rc.Snap.Jobs[i], rp.Snap.Jobs[i])
+		}
+	}
+}
+
+// TestTornTailDiscardedAndResumable: a WAL whose last line was cut by a
+// crash recovers up to the tear, and Resume truncates the tear so new
+// appends land on a clean log.
+func TestTornTailDiscardedAndResumable(t *testing.T) {
+	dir := t.TempDir()
+	st := openStore(t, dir, 0)
+	l, err := st.Create(testMeta("c0001"))
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if err := l.JobChanged(js("gzip/baseline", campaign.JobDone)); err != nil {
+		t.Fatalf("JobChanged: %v", err)
+	}
+	l.Close()
+
+	wal := filepath.Join(dir, "campaigns", "c0001", walName)
+	f, err := os.OpenFile(wal, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatalf("open wal: %v", err)
+	}
+	// Half a record: no newline, garbage CRC.
+	if _, err := f.WriteString(`deadbeef {"seq":99,"type":"job"`); err != nil {
+		t.Fatalf("tear wal: %v", err)
+	}
+	f.Close()
+
+	st2 := openStore(t, dir, 0)
+	rec := recoverOne(t, st2)
+	if len(rec.Snap.Jobs) != 1 || rec.Snap.Jobs[0].State != campaign.JobDone {
+		t.Fatalf("torn tail corrupted recovery: %+v", rec.Snap.Jobs)
+	}
+
+	l2, err := st2.Resume(rec)
+	if err != nil {
+		t.Fatalf("Resume: %v", err)
+	}
+	if err := l2.JobChanged(js("gzip/noop", campaign.JobDone)); err != nil {
+		t.Fatalf("JobChanged after resume: %v", err)
+	}
+	l2.Close()
+
+	rec2 := recoverOne(t, openStore(t, dir, 0))
+	if len(rec2.Snap.Jobs) != 2 {
+		t.Fatalf("post-resume append lost behind torn tail: %+v", rec2.Snap.Jobs)
+	}
+	if rec2.Snap.Jobs[1].ID != "gzip/noop" || rec2.Snap.Jobs[1].State != campaign.JobDone {
+		t.Fatalf("post-resume append folded wrong: %+v", rec2.Snap.Jobs[1])
+	}
+}
+
+// TestSnapshotWatermarkBeatsStaleWAL models a crash between writing a
+// snapshot and truncating the WAL: the leftover records' sequence
+// numbers are at or below the snapshot watermark and must not
+// resurrect older job states.
+func TestSnapshotWatermarkBeatsStaleWAL(t *testing.T) {
+	dir := t.TempDir()
+	st := openStore(t, dir, 0)
+	l, err := st.Create(testMeta("c0001"))
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if err := l.JobChanged(js("gzip/baseline", campaign.JobRunning)); err != nil {
+		t.Fatalf("JobChanged: %v", err)
+	}
+	wal := filepath.Join(dir, "campaigns", "c0001", walName)
+	stale, err := os.ReadFile(wal)
+	if err != nil {
+		t.Fatalf("read wal: %v", err)
+	}
+	// Newer state, then a forced snapshot+truncate via Done.
+	if err := l.JobChanged(js("gzip/baseline", campaign.JobDone)); err != nil {
+		t.Fatalf("JobChanged: %v", err)
+	}
+	if err := l.Done("", time.Date(2026, 8, 8, 13, 0, 0, 0, time.UTC)); err != nil {
+		t.Fatalf("Done: %v", err)
+	}
+	l.Close()
+	// Undo the truncation: put the stale seq-1 record back, as if the
+	// crash landed between snapshot publish and WAL truncate.
+	if err := os.WriteFile(wal, stale, 0o644); err != nil {
+		t.Fatalf("restore stale wal: %v", err)
+	}
+
+	rec := recoverOne(t, openStore(t, dir, 0))
+	if got := rec.Snap.Jobs[0].State; got != campaign.JobDone {
+		t.Fatalf("stale WAL record resurrected state %q over snapshot's done", got)
+	}
+	if !rec.Snap.Done {
+		t.Fatalf("done mark lost: %+v", rec.Snap)
+	}
+}
+
+// TestRemove deletes all durable state for a campaign.
+func TestRemove(t *testing.T) {
+	dir := t.TempDir()
+	st := openStore(t, dir, 0)
+	l, err := st.Create(testMeta("c0001"))
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	l.Close()
+	if err := st.Remove("c0001"); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+	recs, err := st.Recover()
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("campaign survived Remove: %+v", recs)
+	}
+}
+
+// TestNilStoreAndLog: durability off means every call is a safe no-op.
+func TestNilStoreAndLog(t *testing.T) {
+	st, err := Open("", 0)
+	if err != nil || st != nil {
+		t.Fatalf("Open(\"\") = %v, %v; want nil, nil", st, err)
+	}
+	l, err := st.Create(testMeta("c0001"))
+	if err != nil || l != nil {
+		t.Fatalf("nil store Create = %v, %v; want nil, nil", l, err)
+	}
+	if err := l.JobChanged(js("gzip/baseline", campaign.JobDone)); err != nil {
+		t.Fatalf("nil log JobChanged: %v", err)
+	}
+	if err := l.Done("", time.Time{}); err != nil {
+		t.Fatalf("nil log Done: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("nil log Close: %v", err)
+	}
+	recs, err := st.Recover()
+	if err != nil || recs != nil {
+		t.Fatalf("nil store Recover = %v, %v; want nil, nil", recs, err)
+	}
+	if err := st.Remove("c0001"); err != nil {
+		t.Fatalf("nil store Remove: %v", err)
+	}
+}
+
+// TestCorruptCampaignSkipped: one unreadable campaign doesn't poison
+// recovery of its healthy neighbours.
+func TestCorruptCampaignSkipped(t *testing.T) {
+	dir := t.TempDir()
+	st := openStore(t, dir, 0)
+	l, err := st.Create(testMeta("c0001"))
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	l.Close()
+	bad := filepath.Join(dir, "campaigns", "c0002")
+	if err := os.MkdirAll(bad, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(bad, metaName), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, err := openStore(t, dir, 0).Recover()
+	if err == nil {
+		t.Fatalf("corrupt campaign produced no error")
+	}
+	if len(recs) != 1 || recs[0].Meta.ID != "c0001" {
+		t.Fatalf("healthy campaign lost alongside corrupt one: %+v", recs)
+	}
+}

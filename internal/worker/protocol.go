@@ -44,6 +44,10 @@ type RegisterRequest struct {
 	Capacity int `json:"capacity"`
 	// Protocol is the worker's ProtocolVersion.
 	Protocol int `json:"protocol"`
+	// Reconnects counts this worker's re-registrations after losing the
+	// coordinator (0 on first contact) — the server surfaces the fleet's
+	// churn in its metrics.
+	Reconnects int `json:"reconnects,omitempty"`
 }
 
 // RegisterResponse hands the worker its identity and the protocol's

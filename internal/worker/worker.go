@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"os"
 	"sync"
 	"sync/atomic"
@@ -34,6 +35,14 @@ type Worker struct {
 	Ckpt string
 	// Concurrency is how many leases run at once (min 1).
 	Concurrency int
+	// ScratchMaxBytes bounds the scratch cache, evicting least recently
+	// used results after each store; 0 means unbounded.
+	ScratchMaxBytes int64
+	// RetryBase/RetryMax shape the jittered exponential backoff used for
+	// registration and lease-poll failures (defaults 500ms / 15s). A
+	// coordinator restart is survived by waiting, not by dying.
+	RetryBase time.Duration
+	RetryMax  time.Duration
 	// API overrides the protocol client (tests); nil builds one from
 	// Server.
 	API *API
@@ -51,6 +60,9 @@ type Worker struct {
 	// insts-per-second progress figure.
 	insts    atomic.Int64
 	simNanos atomic.Int64
+	// reconnects counts re-registrations after the server forgot us —
+	// reported on the wire so the coordinator can surface fleet churn.
+	reconnects atomic.Int64
 
 	quitOnce sync.Once
 	quit     chan struct{}
@@ -78,6 +90,54 @@ func (w *Worker) Shutdown() {
 	case <-ch:
 	default:
 		close(ch)
+	}
+}
+
+// backoff returns the nth (0-based) retry delay: exponential from
+// RetryBase, capped at RetryMax, with ±25% jitter so a restarted
+// coordinator isn't stampeded by its whole fleet at once.
+func (w *Worker) backoff(n int) time.Duration {
+	base := w.RetryBase
+	if base <= 0 {
+		base = 500 * time.Millisecond
+	}
+	ceil := w.RetryMax
+	if ceil <= 0 {
+		ceil = 15 * time.Second
+	}
+	d := base
+	for i := 0; i < n && d < ceil; i++ {
+		d *= 2
+	}
+	if d > ceil {
+		d = ceil
+	}
+	// Jitter in [0.75, 1.25) of the nominal delay.
+	return d*3/4 + time.Duration(rand.Int63n(int64(d)/2+1))
+}
+
+// register joins (or rejoins) the server, retrying transient failures
+// with jittered backoff until ctx ends. Terminal 4xx refusals —
+// protocol version drift — return immediately: waiting cannot fix them.
+func (w *Worker) register(ctx context.Context, api *API, name string, conc int, reconnect bool) (RegisterResponse, error) {
+	req := RegisterRequest{Name: name, Capacity: conc}
+	if reconnect {
+		req.Reconnects = int(w.reconnects.Add(1))
+	}
+	for attempt := 0; ; attempt++ {
+		reg, err := api.Register(ctx, req)
+		if err == nil {
+			return reg, nil
+		}
+		if terminal(err) || ctx.Err() != nil {
+			return RegisterResponse{}, err
+		}
+		w.logf("register: %v (retrying)", err)
+		select {
+		case <-time.After(w.backoff(attempt)):
+		case <-ctx.Done():
+			return RegisterResponse{}, ctx.Err()
+		}
 	}
 }
 
@@ -120,14 +180,8 @@ func (w *Worker) Run(ctx context.Context) error {
 		store = nil
 	}
 
-	reg, err := api.Register(ctx, RegisterRequest{Name: name, Capacity: conc})
-	if err != nil {
-		return err
-	}
-	w.logf("registered as %s (lease ttl %dms, heartbeat %dms)",
-		reg.WorkerID, reg.LeaseTTLMS, reg.HeartbeatMS)
-
-	// pollCtx ends on either stop signal, cutting the long-poll short.
+	// pollCtx ends on either stop signal, cutting the long-poll (and any
+	// registration backoff) short.
 	pollCtx, cancelPoll := context.WithCancel(ctx)
 	defer cancelPoll()
 	quit := w.quitCh()
@@ -139,8 +193,20 @@ func (w *Worker) Run(ctx context.Context) error {
 		}
 	}()
 
+	// Registration retries transient failures forever: a worker that
+	// boots before its coordinator (or during a coordinator restart)
+	// waits, it doesn't die.
+	reg, err := w.register(pollCtx, api, name, conc, false)
+	if err != nil {
+		return err
+	}
+	w.logf("registered as %s (lease ttl %dms, heartbeat %dms)",
+		reg.WorkerID, reg.LeaseTTLMS, reg.HeartbeatMS)
+
 	slots := make(chan struct{}, conc)
 	var wg sync.WaitGroup
+	var regErr error
+	fails := 0
 lease:
 	for {
 		select {
@@ -157,20 +223,29 @@ lease:
 			if errors.Is(err, ErrUnknownWorker) {
 				// The server lost our registration (it restarted):
 				// register again instead of retrying a doomed identity.
-				if nr, rerr := api.Register(pollCtx, RegisterRequest{Name: name, Capacity: conc}); rerr == nil {
-					w.logf("server forgot us; re-registered as %s", nr.WorkerID)
-					reg = nr
-					continue
+				nr, rerr := w.register(pollCtx, api, name, conc, true)
+				if rerr != nil {
+					if pollCtx.Err() != nil {
+						break lease
+					}
+					regErr = rerr // terminal refusal: protocol drift
+					break lease
 				}
+				w.logf("server forgot us; re-registered as %s", nr.WorkerID)
+				reg = nr
+				fails = 0
+				continue
 			}
+			fails++
 			w.logf("lease poll: %v (retrying)", err)
 			select {
-			case <-time.After(500 * time.Millisecond):
+			case <-time.After(w.backoff(fails - 1)):
 			case <-pollCtx.Done():
 				break lease
 			}
 			continue
 		}
+		fails = 0
 		if !ok {
 			<-slots
 			continue
@@ -183,6 +258,9 @@ lease:
 		}(l)
 	}
 	wg.Wait()
+	if regErr != nil {
+		return regErr
+	}
 
 	// Deregister only on the graceful path. A hard stop (ctx cancelled)
 	// models a crashed machine: it says nothing, and the server's lease
@@ -302,6 +380,9 @@ func (w *Worker) serve(ctx context.Context, api *API, reg RegisterResponse, scra
 		w.insts.Add(res.Stats.CommittedReal)
 		w.simNanos.Add(res.FinishedAt.Sub(res.StartedAt).Nanoseconds())
 		_ = scratch.Put(key, res)
+		if w.ScratchMaxBytes > 0 {
+			_, _, _ = scratch.GC(w.ScratchMaxBytes)
+		}
 		if ckptKey != "" && !fetched && store.Has(ckptKey) {
 			// This worker generated the sweep's warm state: publish it so
 			// the server and the rest of the fleet skip their warming.

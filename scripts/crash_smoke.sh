@@ -1,0 +1,109 @@
+#!/usr/bin/env bash
+# Crash-injection smoke of the durable control plane: start sdiqd with
+# -state, attach two sdiqw workers, launch a remote sweep, SIGKILL the
+# server the moment real progress has landed, restart it over the same
+# state/cache directories at the same address, and require:
+#   - the client (sdiq -remote, reconnecting with backoff) finishes the
+#     campaign and its export is byte-identical to a local run;
+#   - the restarted server recovered the campaign from its WAL
+#     (sdiqd_campaigns_recovered_total >= 1);
+#   - both workers re-registered instead of dying
+#     (sdiqd_worker_reconnects_total >= 1);
+#   - work finished before the kill came back as cache hits, never
+#     duplicate simulations (sdiqd_job_cache_hits_total >= 1).
+# The exports and their diff land in ${CRASH_ARTIFACTS:-$WORK/artifacts}
+# so CI can upload the recovered-vs-local evidence.
+# CI runs this on every push; it needs only bash, curl and go.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ADDR="${SDIQD_ADDR:-127.0.0.1:8474}"
+WORK="$(mktemp -d)"
+ART="${CRASH_ARTIFACTS:-$WORK/artifacts}"
+mkdir -p "$ART"
+trap 'kill -9 "$SRV_PID" "$SRV2_PID" "$W1_PID" "$W2_PID" "$CLIENT_PID" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+SRV_PID=""; SRV2_PID=""; W1_PID=""; W2_PID=""; CLIENT_PID=""
+
+echo "== build"
+go build -o "$WORK/sdiqd" ./cmd/sdiqd
+go build -o "$WORK/sdiqw" ./cmd/sdiqw
+go build -o "$WORK/sdiq" ./cmd/sdiq
+
+DFLAGS=(-addr "$ADDR" -cache "$WORK/cache" -state "$WORK/state" -lease-ttl 3s)
+
+echo "== start sdiqd on $ADDR (durable state in $WORK/state)"
+"$WORK/sdiqd" "${DFLAGS[@]}" >"$ART/sdiqd-1.log" 2>&1 &
+SRV_PID=$!
+for _ in $(seq 1 50); do
+    curl -fs "http://$ADDR/healthz" >/dev/null 2>&1 && break
+    sleep 0.2
+done
+curl -fs "http://$ADDR/healthz" >/dev/null
+
+echo "== start 2 sdiqw workers"
+"$WORK/sdiqw" -server "http://$ADDR" -name crash-1 -scratch "$WORK/scratch1" -parallel 2 >"$ART/sdiqw1.log" 2>&1 &
+W1_PID=$!
+"$WORK/sdiqw" -server "http://$ADDR" -name crash-2 -scratch "$WORK/scratch2" -parallel 2 >"$ART/sdiqw2.log" 2>&1 &
+W2_PID=$!
+for _ in $(seq 1 50); do
+    N=$(curl -fs "http://$ADDR/metrics" | awk '/^sdiqd_workers_connected /{print $2}')
+    [ "${N:-0}" = "2" ] && break
+    sleep 0.2
+done
+
+SPEC=(-experiment sweep -sweep "iq.entries=16,32,48,64,80,96" -budget 60000 -seed 7 -sample on -format csv)
+
+echo "== launch remote sweep in the background"
+"$WORK/sdiq" -remote "http://$ADDR" "${SPEC[@]}" -export "$ART/remote.csv" >"$ART/client.log" 2>&1 &
+CLIENT_PID=$!
+
+echo "== wait for real progress, then SIGKILL sdiqd mid-campaign"
+for _ in $(seq 1 150); do
+    DONEJOBS=$(curl -fs "http://$ADDR/metrics" 2>/dev/null |
+        awk '/^sdiqd_jobs_executed_total |^sdiqd_jobs_remote_total /{s+=$2} END{print s+0}')
+    [ "${DONEJOBS:-0}" -ge 1 ] && break
+    sleep 0.2
+done
+[ "${DONEJOBS:-0}" -ge 1 ] || { echo "no job ever finished"; cat "$ART/sdiqd-1.log"; exit 1; }
+kill -9 "$SRV_PID"
+echo "   killed after $DONEJOBS finished jobs"
+
+echo "== restart sdiqd over the same state, cache and address"
+"$WORK/sdiqd" "${DFLAGS[@]}" >"$ART/sdiqd-2.log" 2>&1 &
+SRV2_PID=$!
+for _ in $(seq 1 50); do
+    curl -fs "http://$ADDR/healthz" >/dev/null 2>&1 && break
+    sleep 0.2
+done
+curl -fs "http://$ADDR/healthz" >/dev/null
+
+echo "== client must ride across the restart and finish"
+if ! wait "$CLIENT_PID"; then
+    echo "client failed across the restart"; cat "$ART/client.log"; exit 1
+fi
+
+echo "== same sweep locally"
+"$WORK/sdiq" "${SPEC[@]}" -export "$ART/local.csv" >/dev/null
+
+echo "== recovered export must be byte-identical to the local run"
+if ! diff "$ART/remote.csv" "$ART/local.csv" >"$ART/export.diff"; then
+    echo "exports differ"; cat "$ART/export.diff"; exit 1
+fi
+
+echo "== durability metrics"
+curl -fs "http://$ADDR/metrics" |
+    grep -E '^sdiqd_(campaigns_recovered_total|worker_reconnects_total|job_cache_hits_total|jobs_executed_total|jobs_remote_total|wal_appends_total|jobs_failed_total) ' |
+    tee "$ART/metrics.txt"
+grep -q '^sdiqd_campaigns_recovered_total [1-9]' "$ART/metrics.txt" || { echo "campaign not recovered from WAL"; exit 1; }
+grep -q '^sdiqd_worker_reconnects_total [1-9]' "$ART/metrics.txt" || { echo "no worker re-registered"; exit 1; }
+grep -q '^sdiqd_job_cache_hits_total [1-9]' "$ART/metrics.txt" || { echo "finished work re-simulated instead of cache-hit"; exit 1; }
+grep -q '^sdiqd_jobs_failed_total 0' "$ART/metrics.txt" || { echo "jobs failed"; exit 1; }
+
+echo "== shut everything down"
+kill -TERM "$W1_PID" "$W2_PID" "$SRV2_PID" 2>/dev/null || true
+for _ in $(seq 1 50); do
+    kill -0 "$SRV2_PID" 2>/dev/null || break
+    sleep 0.2
+done
+
+echo "crash smoke OK"

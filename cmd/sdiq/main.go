@@ -88,6 +88,8 @@ func main() {
 		"sampled simulation: \"on\" for the default regime, \"window/period/warmup\" or \"window=N,period=N,warmup=N,detailwarmup=N\" (empty = exact)")
 	remote := flag.String("remote", "",
 		"run campaigns on a sdiqd campaign service at this base URL instead of in-process")
+	token := flag.String("token", os.Getenv("SDIQ_TOKEN"),
+		"tenant bearer token for -remote (default $SDIQ_TOKEN; required when the server runs -auth)")
 	exportPath := flag.String("export", "", "write the campaign to FILE (.json or .csv)")
 	loadPath := flag.String("load", "", "load a saved campaign JSON instead of simulating")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to FILE")
@@ -114,6 +116,7 @@ func main() {
 		}
 	}
 	r.Remote = *remote
+	r.RemoteToken = *token
 	if *remote != "" {
 		r.OnRemoteEvent = func(ev serve.Event) {
 			if ev.Type == serve.EventSubmitted {

@@ -9,6 +9,7 @@
 //	sdiqd [-addr :8080] [-cache DIR] [-ckpt DIR] [-state DIR] [-parallel N]
 //	      [-quota N] [-drain 30s] [-lease-ttl 15s] [-job-retries 2]
 //	      [-registry-ttl 0] [-cache-max-bytes 0] [-gc-interval 1m]
+//	      [-auth tokens.json] [-tenant-isolation]
 //
 // -parallel bounds concurrent in-process simulations across all
 // campaigns (0 = GOMAXPROCS); -quota caps active campaigns per client
@@ -41,6 +42,16 @@
 // -cache-max-bytes bounds the result cache, evicting least recently
 // used entries; -gc-interval is how often both bounds are enforced.
 //
+// -auth turns authentication on: every /v1/* request must present a
+// bearer token from the given token file (JSON mapping tokens to
+// principals with role "tenant" or "worker" — see internal/auth), and
+// client identity comes from the token's principal, never a header.
+// SIGHUP re-reads the file, so tokens rotate without a restart (a
+// broken file keeps the previous set in force). -tenant-isolation
+// additionally namespaces the result cache, in-flight dedup and
+// checkpoint store per client, so tenants never share artifacts and
+// -cache-max-bytes bounds each tenant separately.
+//
 //	sdiqd -addr :8080 -cache /var/cache/sdiq &
 //	sdiqw -server http://localhost:8080 -scratch /tmp/sdiqw &
 //	sdiq -remote http://localhost:8080 -experiment fig8
@@ -59,6 +70,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/auth"
 	"repro/internal/serve"
 )
 
@@ -75,22 +87,48 @@ func main() {
 	registryTTL := flag.Duration("registry-ttl", 0, "evict finished campaigns this long after completion (0 = keep until DELETE)")
 	cacheMaxBytes := flag.Int64("cache-max-bytes", 0, "result cache size bound, LRU-evicted (0 = unbounded)")
 	gcInterval := flag.Duration("gc-interval", 0, "how often registry/cache bounds are enforced (0 = 1m)")
+	authFile := flag.String("auth", "", "bearer token file (JSON); enables authentication on every /v1/* endpoint")
+	tenantIsolation := flag.Bool("tenant-isolation", false, "namespace result cache and checkpoint store per client")
 	flag.Parse()
 
 	log.SetPrefix("sdiqd: ")
 	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
 
+	var authenticator *auth.Authenticator
+	if *authFile != "" {
+		var err error
+		if authenticator, err = auth.LoadFile(*authFile); err != nil {
+			// Unlike the optional stores, a broken token file must not
+			// degrade to an open server.
+			log.Fatalf("auth: %v", err)
+		}
+		log.Printf("authentication on: %d token(s) from %s (SIGHUP reloads)", authenticator.Len(), *authFile)
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		go func() {
+			for range hup {
+				if err := authenticator.Reload(); err != nil {
+					log.Printf("auth reload failed, previous tokens still in force: %v", err)
+				} else {
+					log.Printf("auth reloaded: %d token(s)", authenticator.Len())
+				}
+			}
+		}()
+	}
+
 	s := serve.New(serve.Config{
-		CacheDir:       *cacheDir,
-		CkptDir:        *ckptDir,
-		StateDir:       *stateDir,
-		Workers:        *parallel,
-		QuotaPerClient: *quota,
-		LeaseTTL:       *leaseTTL,
-		JobRetries:     *jobRetries,
-		RegistryTTL:    *registryTTL,
-		CacheMaxBytes:  *cacheMaxBytes,
-		GCInterval:     *gcInterval,
+		CacheDir:        *cacheDir,
+		CkptDir:         *ckptDir,
+		StateDir:        *stateDir,
+		Workers:         *parallel,
+		QuotaPerClient:  *quota,
+		LeaseTTL:        *leaseTTL,
+		JobRetries:      *jobRetries,
+		RegistryTTL:     *registryTTL,
+		CacheMaxBytes:   *cacheMaxBytes,
+		GCInterval:      *gcInterval,
+		Auth:            authenticator,
+		TenantIsolation: *tenantIsolation,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
 

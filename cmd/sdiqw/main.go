@@ -8,7 +8,7 @@
 // Usage:
 //
 //	sdiqw -server http://host:8080 [-name NAME] [-scratch DIR]
-//	      [-scratch-max-bytes N] [-ckpt DIR] [-parallel N]
+//	      [-scratch-max-bytes N] [-ckpt DIR] [-parallel N] [-token TOKEN]
 //
 // -scratch is the worker's local result cache: a job this worker has
 // run before is answered from disk (-scratch-max-bytes bounds it,
@@ -16,7 +16,9 @@
 // checkpoint artifact store: sampled jobs download the sweep's shared
 // warm state from the server (or generate and push it back) instead of
 // re-warming per cell. -parallel is how many jobs run concurrently
-// (default: GOMAXPROCS).
+// (default: GOMAXPROCS). -token is the worker-role bearer credential,
+// required against a server running with -auth (also read from
+// SDIQ_TOKEN so the secret stays out of process listings).
 //
 // The worker survives coordinator restarts: registration and lease
 // polls retry with jittered exponential backoff, and when the server
@@ -52,6 +54,7 @@ func main() {
 	scratchMax := flag.Int64("scratch-max-bytes", 0, "scratch cache size bound, LRU-evicted (0 = unbounded)")
 	ckptDir := flag.String("ckpt", "", "local checkpoint artifact store directory")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent jobs")
+	token := flag.String("token", os.Getenv("SDIQ_TOKEN"), "worker bearer token (default $SDIQ_TOKEN; required when the server runs -auth)")
 	flag.Parse()
 
 	log.SetPrefix("sdiqw: ")
@@ -64,6 +67,7 @@ func main() {
 		ScratchMaxBytes: *scratchMax,
 		Ckpt:            *ckptDir,
 		Concurrency:     *parallel,
+		Token:           *token,
 		Logf:            log.Printf,
 	}
 

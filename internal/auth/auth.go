@@ -1,0 +1,206 @@
+// Package auth is the campaign service's identity layer: a reloadable
+// token file mapping bearer tokens to principals, each a (name, role)
+// pair. The server's middleware resolves every /v1/* request through
+// Lookup; quotas, campaign ownership and tenant namespaces then hang
+// off the authenticated principal name instead of a spoofable header.
+//
+// Token file format (JSON):
+//
+//	{
+//	  "tokens": [
+//	    {"token": "s3cret-alice", "principal": "alice", "role": "tenant"},
+//	    {"token": "s3cret-fleet", "principal": "fleet", "role": "worker"}
+//	  ]
+//	}
+//
+// Roles: "tenant" submits and owns campaigns (sdiq clients); "worker"
+// speaks the lease protocol and the checkpoint endpoints (sdiqw).
+// Rotation is a rewrite of the file plus SIGHUP to sdiqd (Reload).
+package auth
+
+import (
+	"crypto/sha256"
+	"crypto/subtle"
+	"encoding/json"
+	"fmt"
+	"os"
+	"regexp"
+	"sync"
+)
+
+// Role says which half of the protocol a principal may speak.
+type Role string
+
+const (
+	// RoleTenant is a campaign client: submits specs, follows events,
+	// fetches exports, deletes its own campaigns.
+	RoleTenant Role = "tenant"
+	// RoleWorker is a fleet worker: registers, leases, heartbeats,
+	// uploads results, and ships checkpoint artifacts.
+	RoleWorker Role = "worker"
+)
+
+// Principal is an authenticated identity.
+type Principal struct {
+	Name string
+	Role Role
+}
+
+// nameRE is the principal-name grammar. It is deliberately path- and
+// label-safe: names flow into quota maps, durable meta.json, Prometheus
+// labels and (under tenant isolation) cache directory paths, so no
+// separators, no dots-only traversal components, no uppercase.
+var nameRE = regexp.MustCompile(`^[a-z0-9._-]{1,64}$`)
+
+// ValidName reports whether name is a legal principal/client name:
+// 1-64 chars of [a-z0-9._-], with no path-traversal components.
+func ValidName(name string) bool {
+	if !nameRE.MatchString(name) {
+		return false
+	}
+	// "." and ".." are in the charset but are path components; refuse
+	// anything that is only dots.
+	for i := 0; i < len(name); i++ {
+		if name[i] != '.' {
+			return true
+		}
+	}
+	return false
+}
+
+// Token is one token-file entry.
+type Token struct {
+	Token     string `json:"token"`
+	Principal string `json:"principal"`
+	Role      Role   `json:"role"`
+}
+
+type tokenFile struct {
+	Tokens []Token `json:"tokens"`
+}
+
+// entry is a loaded credential: the token is kept only as its SHA-256,
+// which both avoids holding secrets longer than needed and gives every
+// comparison a fixed length for the constant-time check.
+type entry struct {
+	hash [sha256.Size]byte
+	p    Principal
+}
+
+// Authenticator resolves bearer tokens to principals. A nil
+// *Authenticator means authentication is disabled. Safe for concurrent
+// Lookup and Reload.
+type Authenticator struct {
+	path string // "" when built from literals (tests)
+
+	mu      sync.RWMutex
+	entries []entry
+}
+
+// compile builds the entry set from token-file contents, validating
+// every principal name and role and refusing duplicate tokens.
+func compile(tokens []Token) ([]entry, error) {
+	entries := make([]entry, 0, len(tokens))
+	seen := make(map[[sha256.Size]byte]string, len(tokens))
+	for i, tk := range tokens {
+		if tk.Token == "" {
+			return nil, fmt.Errorf("auth: token %d: empty token", i)
+		}
+		if !ValidName(tk.Principal) {
+			return nil, fmt.Errorf("auth: token %d: invalid principal %q (want [a-z0-9._-]{1,64})", i, tk.Principal)
+		}
+		if tk.Role != RoleTenant && tk.Role != RoleWorker {
+			return nil, fmt.Errorf("auth: token %d (%s): unknown role %q (want tenant or worker)", i, tk.Principal, tk.Role)
+		}
+		h := sha256.Sum256([]byte(tk.Token))
+		if prev, dup := seen[h]; dup {
+			return nil, fmt.Errorf("auth: token %d (%s): duplicate token also issued to %s", i, tk.Principal, prev)
+		}
+		seen[h] = tk.Principal
+		entries = append(entries, entry{hash: h, p: Principal{Name: tk.Principal, Role: tk.Role}})
+	}
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("auth: no tokens — an empty token file would lock everyone out")
+	}
+	return entries, nil
+}
+
+// New builds an Authenticator from literal tokens (tests, embedding).
+func New(tokens []Token) (*Authenticator, error) {
+	entries, err := compile(tokens)
+	if err != nil {
+		return nil, err
+	}
+	return &Authenticator{entries: entries}, nil
+}
+
+// LoadFile reads a token file. The returned Authenticator remembers the
+// path so Reload (SIGHUP) can re-read it for rotation.
+func LoadFile(path string) (*Authenticator, error) {
+	a := &Authenticator{path: path}
+	if err := a.Reload(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// Reload re-reads the token file. On any error the previously loaded
+// tokens stay in force — a botched rotation must not lock the fleet
+// out mid-flight.
+func (a *Authenticator) Reload() error {
+	if a.path == "" {
+		return nil
+	}
+	blob, err := os.ReadFile(a.path)
+	if err != nil {
+		return fmt.Errorf("auth: %w", err)
+	}
+	var tf tokenFile
+	if err := json.Unmarshal(blob, &tf); err != nil {
+		return fmt.Errorf("auth: %s: %w", a.path, err)
+	}
+	entries, err := compile(tf.Tokens)
+	if err != nil {
+		return fmt.Errorf("%w (in %s)", err, a.path)
+	}
+	a.mu.Lock()
+	a.entries = entries
+	a.mu.Unlock()
+	return nil
+}
+
+// Lookup resolves a presented bearer token. The scan is constant-time
+// in the token values: the presented token is hashed once and compared
+// against every entry's hash with crypto/subtle, never short-circuiting
+// on a match, so response timing reveals neither a near-miss nor which
+// entry matched.
+func (a *Authenticator) Lookup(token string) (Principal, bool) {
+	if a == nil {
+		return Principal{}, false
+	}
+	h := sha256.Sum256([]byte(token))
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	var (
+		found Principal
+		ok    int
+	)
+	for i := range a.entries {
+		match := subtle.ConstantTimeCompare(h[:], a.entries[i].hash[:])
+		if match == 1 && ok == 0 {
+			found = a.entries[i].p
+		}
+		ok |= match
+	}
+	return found, ok == 1
+}
+
+// Len reports how many tokens are loaded (for startup logging).
+func (a *Authenticator) Len() int {
+	if a == nil {
+		return 0
+	}
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return len(a.entries)
+}

@@ -1,0 +1,122 @@
+package auth
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func testTokens() []Token {
+	return []Token{
+		{Token: "alice-secret", Principal: "alice", Role: RoleTenant},
+		{Token: "fleet-secret", Principal: "fleet-1", Role: RoleWorker},
+	}
+}
+
+func TestLookup(t *testing.T) {
+	a, err := New(testTokens())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, ok := a.Lookup("alice-secret")
+	if !ok || p.Name != "alice" || p.Role != RoleTenant {
+		t.Errorf("Lookup(alice-secret) = %+v, %v; want alice/tenant", p, ok)
+	}
+	p, ok = a.Lookup("fleet-secret")
+	if !ok || p.Name != "fleet-1" || p.Role != RoleWorker {
+		t.Errorf("Lookup(fleet-secret) = %+v, %v; want fleet-1/worker", p, ok)
+	}
+	if _, ok := a.Lookup("wrong"); ok {
+		t.Error("unknown token resolved")
+	}
+	if _, ok := a.Lookup(""); ok {
+		t.Error("empty token resolved")
+	}
+	// A nil authenticator (auth off) resolves nothing.
+	var nilA *Authenticator
+	if _, ok := nilA.Lookup("alice-secret"); ok {
+		t.Error("nil authenticator resolved a token")
+	}
+}
+
+func TestCompileRejects(t *testing.T) {
+	cases := []struct {
+		name   string
+		tokens []Token
+		want   string
+	}{
+		{"empty token", []Token{{Token: "", Principal: "a", Role: RoleTenant}}, "empty token"},
+		{"bad principal", []Token{{Token: "t", Principal: "../../etc", Role: RoleTenant}}, "invalid principal"},
+		{"uppercase principal", []Token{{Token: "t", Principal: "Alice", Role: RoleTenant}}, "invalid principal"},
+		{"bad role", []Token{{Token: "t", Principal: "alice", Role: "admin"}}, "unknown role"},
+		{"duplicate token", []Token{
+			{Token: "t", Principal: "alice", Role: RoleTenant},
+			{Token: "t", Principal: "bob", Role: RoleTenant},
+		}, "duplicate token"},
+		{"no tokens", nil, "no tokens"},
+	}
+	for _, tc := range cases {
+		if _, err := New(tc.tokens); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestValidName(t *testing.T) {
+	good := []string{"alice", "fleet-1", "a", "x.y_z-0", strings.Repeat("a", 64), "v1.2.3"}
+	for _, n := range good {
+		if !ValidName(n) {
+			t.Errorf("ValidName(%q) = false, want true", n)
+		}
+	}
+	bad := []string{"", "Alice", "a b", "a/b", "../../etc", "..", ".", "...", strings.Repeat("a", 65), "a\n"}
+	for _, n := range bad {
+		if ValidName(n) {
+			t.Errorf("ValidName(%q) = true, want false", n)
+		}
+	}
+}
+
+func TestLoadFileAndReload(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tokens.json")
+	write := func(body string) {
+		t.Helper()
+		if err := os.WriteFile(path, []byte(body), 0o600); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write(`{"tokens": [{"token": "tok-a", "principal": "alice", "role": "tenant"}]}`)
+	a, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := a.Lookup("tok-a"); !ok {
+		t.Fatal("loaded token does not resolve")
+	}
+
+	// Rotation: rewrite the file, Reload, and the old token is dead.
+	write(`{"tokens": [{"token": "tok-b", "principal": "alice", "role": "tenant"}]}`)
+	if err := a.Reload(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := a.Lookup("tok-a"); ok {
+		t.Error("rotated-out token still resolves")
+	}
+	if _, ok := a.Lookup("tok-b"); !ok {
+		t.Error("rotated-in token does not resolve")
+	}
+
+	// A broken rotation keeps the previous tokens in force.
+	write(`{"tokens": []}`)
+	if err := a.Reload(); err == nil {
+		t.Error("reload of empty token file succeeded, want error")
+	}
+	if _, ok := a.Lookup("tok-b"); !ok {
+		t.Error("failed reload wiped the working token set")
+	}
+
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("LoadFile of missing file succeeded")
+	}
+}

@@ -111,6 +111,9 @@ type Runner struct {
 	// every other client. Parallel and CacheDir then configure nothing
 	// (the server owns both).
 	Remote string
+	// RemoteToken is the tenant-role bearer credential sent with every
+	// remote request — required when the server runs with -auth.
+	RemoteToken string
 	// OnRemoteEvent, when non-nil, observes the remote event stream
 	// (progress reporting for CLI drivers).
 	OnRemoteEvent func(serve.Event)
@@ -159,6 +162,7 @@ func (r *Runner) engine() *campaign.Engine {
 func (r *Runner) RunCampaign(ctx context.Context, spec campaign.Spec) (*campaign.ResultSet, error) {
 	if r.Remote != "" {
 		cl := serve.NewClient(r.Remote)
+		cl.Token = r.RemoteToken
 		cl.OnEvent = r.OnRemoteEvent
 		return cl.Run(ctx, spec)
 	}

@@ -25,7 +25,17 @@ func (s *Server) handleCkptGet(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "no checkpoint store")
 		return
 	}
-	data, err := s.ckpt.ReadRaw(key)
+	// Reads route through the store the key's lease granted — under
+	// tenant isolation that is the owning tenant's store, and a key the
+	// server never leased names nothing a worker has business fetching.
+	st := s.ckpt
+	if granted, ok := s.disp.grantedStore(key); ok {
+		st = granted
+	} else if s.cfg.TenantIsolation {
+		writeError(w, http.StatusNotFound, "no artifact %.12s…", key)
+		return
+	}
+	data, err := st.ReadRaw(key)
 	if err != nil {
 		if errors.Is(err, fs.ErrNotExist) {
 			writeError(w, http.StatusNotFound, "no artifact %.12s…", key)
@@ -45,7 +55,8 @@ func (s *Server) handleCkptPut(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "no checkpoint store")
 		return
 	}
-	if !s.disp.ckptPutAllowed(key) {
+	st, ok := s.disp.grantedStore(key)
+	if !ok || st == nil {
 		// Only keys the server itself named in a lease are writable:
 		// anything else is a confused or hostile client.
 		writeError(w, http.StatusForbidden, "artifact key %.12s… was never leased", key)
@@ -56,7 +67,7 @@ func (s *Server) handleCkptPut(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "reading artifact body: %v", err)
 		return
 	}
-	if err := s.ckpt.WriteRaw(key, data); err != nil {
+	if err := st.WriteRaw(key, data); err != nil {
 		writeError(w, http.StatusUnprocessableEntity, "artifact rejected: %v", err)
 		return
 	}

@@ -57,7 +57,7 @@ func rawCkpt(t *testing.T, cl *Client, method, key string, body []byte) (int, []
 // grantKey marks key as leased, the precondition for uploads.
 func grantKey(s *Server, key string) {
 	s.disp.mu.Lock()
-	s.disp.ckptGranted[key] = struct{}{}
+	s.disp.ckptGranted[key] = s.ckpt
 	s.disp.mu.Unlock()
 }
 

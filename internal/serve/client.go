@@ -24,8 +24,14 @@ type Client struct {
 	// HTTP is the transport; nil means http.DefaultClient.
 	HTTP *http.Client
 	// ID identifies this client for the server's per-client quotas
-	// (sent as X-Sdiq-Client when non-empty).
+	// (sent as X-Sdiq-Client when non-empty). Against a server running
+	// with -auth the header is ignored: identity is the token's
+	// principal.
 	ID string
+	// Token is a tenant-role bearer credential, sent as
+	// "Authorization: Bearer" when non-empty — required against a server
+	// running with -auth.
+	Token string
 	// OnEvent, when non-nil, observes every event Run receives — the
 	// hook CLI progress output hangs off.
 	OnEvent func(Event)
@@ -119,6 +125,9 @@ func (c *Client) do(ctx context.Context, method, path string, body io.Reader) (*
 	}
 	if c.ID != "" {
 		req.Header.Set("X-Sdiq-Client", c.ID)
+	}
+	if c.Token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.Token)
 	}
 	resp, err := c.http().Do(req)
 	if err != nil {

@@ -2,6 +2,8 @@ package serve
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"fmt"
 	"sync"
 	"time"
@@ -29,6 +31,13 @@ type dispatcher struct {
 	gate      campaign.Gate // shared simulation gate (local executions)
 	met       *metrics
 	ckpt      *ckpt.Store // shared checkpoint artifact store (may be nil)
+	// nonce is a per-boot random tag baked into every worker and lease
+	// ID. Without it a restarted coordinator reissues the same IDs from
+	// zero ("w0001", "l000001"), and a zombie worker's late upload —
+	// carrying pre-restart IDs for a JobKey that is valid again — would
+	// be accepted against the new boot's lease. With the nonce, stale
+	// IDs can never collide with freshly issued ones: they 410.
+	nonce string
 
 	mu      sync.Mutex
 	wseq    int
@@ -38,11 +47,13 @@ type dispatcher struct {
 	wake    chan struct{} // closed+replaced when the queue gains a task
 	leases  map[string]*lease
 	// ckptGranted records every checkpoint key ever handed out in a
-	// lease — the set of keys a worker PUT may legitimately name. Keys
+	// lease, mapped to the store the lease's campaign draws from — the
+	// set of keys a worker PUT may legitimately name, and where each
+	// upload must land (the owning tenant's store under isolation). Keys
 	// are content hashes, so the set grows with distinct sweep warming
 	// identities, not with jobs; it is the gate that keeps the artifact
 	// store write surface closed to anything the server never asked for.
-	ckptGranted map[string]struct{}
+	ckptGranted map[string]*ckpt.Store
 }
 
 // Dispatcher protocol defaults (overridable via Config).
@@ -76,7 +87,8 @@ const (
 type task struct {
 	job     *campaign.Job
 	key     string
-	ckptKey string // checkpoint artifact key ("" = none)
+	ckptKey string      // checkpoint artifact key ("" = none)
+	ckpt    *ckpt.Store // store this job reads/publishes warm state in
 	params  power.Params
 	ctx     context.Context // the campaign's context
 
@@ -123,6 +135,13 @@ func newDispatcher(cfg Config, gate campaign.Gate, met *metrics, store *ckpt.Sto
 	} else if retries == 0 {
 		retries = defaultJobRetries
 	}
+	var nb [4]byte
+	if _, err := rand.Read(nb[:]); err != nil {
+		// crypto/rand failing is effectively fatal elsewhere; here a
+		// constant just restores the old (colliding) behaviour, so don't
+		// crash the coordinator over it.
+		copy(nb[:], "boot")
+	}
 	return &dispatcher{
 		ttl:         ttl,
 		offer:       offer,
@@ -131,10 +150,11 @@ func newDispatcher(cfg Config, gate campaign.Gate, met *metrics, store *ckpt.Sto
 		gate:        gate,
 		met:         met,
 		ckpt:        store,
+		nonce:       hex.EncodeToString(nb[:]),
 		workers:     make(map[string]*workerState),
 		wake:        make(chan struct{}),
 		leases:      make(map[string]*lease),
-		ckptGranted: make(map[string]struct{}),
+		ckptGranted: make(map[string]*ckpt.Store),
 	}
 }
 
@@ -143,29 +163,51 @@ func newDispatcher(cfg Config, gate campaign.Gate, met *metrics, store *ckpt.Sto
 // RunJob routes one cache-missed job: to the fleet when live workers
 // are registered (falling back locally if the offer times out, the
 // campaign is cancelled, or remote attempts are exhausted), otherwise
-// straight to the in-process gate.
+// straight to the in-process gate. Jobs run through the dispatcher
+// directly use the shared checkpoint store; tenant-scoped campaigns go
+// through a tenantRunner instead.
 func (d *dispatcher) RunJob(ctx context.Context, job *campaign.Job, key string, params power.Params) (campaign.Result, error) {
+	return d.runJobWith(ctx, job, key, params, d.ckpt)
+}
+
+// runJobWith is RunJob with an explicit checkpoint store: the one the
+// owning campaign's tenant reads warm state from and publishes it to,
+// locally and (via the granted-keys map) across the fleet.
+func (d *dispatcher) runJobWith(ctx context.Context, job *campaign.Job, key string, params power.Params, store *ckpt.Store) (campaign.Result, error) {
 	if key != "" && d.hasWorkers() {
-		res, err, done := d.runRemote(ctx, job, key, params)
+		res, err, done := d.runRemote(ctx, job, key, params, store)
 		if done {
 			return res, err
 		}
 		d.met.jobsFellBack.Add(1)
 	}
-	return d.runLocal(ctx, job)
+	return d.runLocal(ctx, job, store)
+}
+
+// tenantRunner is the campaign.Runner a tenant-scoped campaign gets:
+// the shared dispatcher with every job pinned to the tenant's own
+// checkpoint store.
+type tenantRunner struct {
+	d    *dispatcher
+	ckpt *ckpt.Store
+}
+
+func (tr *tenantRunner) RunJob(ctx context.Context, job *campaign.Job, key string, params power.Params) (campaign.Result, error) {
+	return tr.d.runJobWith(ctx, job, key, params, tr.ckpt)
 }
 
 // runRemote offers the job to the lease queue and waits it out. done is
 // false when the job should fall back to local execution.
-func (d *dispatcher) runRemote(ctx context.Context, job *campaign.Job, key string, params power.Params) (campaign.Result, error, bool) {
+func (d *dispatcher) runRemote(ctx context.Context, job *campaign.Job, key string, params power.Params, store *ckpt.Store) (campaign.Result, error, bool) {
 	t := &task{
 		job:     job,
 		key:     key,
+		ckpt:    store,
 		params:  params,
 		ctx:     ctx,
 		outcome: make(chan taskOutcome, 1),
 	}
-	if d.ckpt != nil {
+	if store != nil {
 		// Sampled jobs carry their checkpoint identity into the lease so
 		// a worker can fetch (or publish) the sweep's shared warm state.
 		t.ckptKey, _ = campaign.CheckpointKey(job)
@@ -187,13 +229,13 @@ func (d *dispatcher) runRemote(ctx context.Context, job *campaign.Job, key strin
 
 // runLocal executes in-process under the shared gate — the exact path
 // the server ran every job through before the worker pool existed.
-func (d *dispatcher) runLocal(ctx context.Context, job *campaign.Job) (campaign.Result, error) {
+func (d *dispatcher) runLocal(ctx context.Context, job *campaign.Job, store *ckpt.Store) (campaign.Result, error) {
 	if err := d.gate.Acquire(ctx); err != nil {
 		return campaign.Result{}, err
 	}
 	defer d.gate.Release()
 	d.met.jobsLocal.Add(1)
-	return campaign.ExecuteStored(ctx, job, d.ckpt)
+	return campaign.ExecuteStored(ctx, job, store)
 }
 
 // enqueueLocked puts a task on the queue (front for retries, so a
@@ -285,7 +327,7 @@ func (d *dispatcher) register(req worker.RegisterRequest) (worker.RegisterRespon
 	d.pruneLocked()
 	d.wseq++
 	w := &workerState{
-		id:       fmt.Sprintf("w%04d", d.wseq),
+		id:       fmt.Sprintf("w%s-%04d", d.nonce, d.wseq),
 		name:     req.Name,
 		capacity: capacity,
 		lastSeen: time.Now(),
@@ -410,7 +452,7 @@ func (d *dispatcher) nextLease(ctx context.Context, workerID string, wait time.D
 			t.attempts++
 			d.lseq++
 			l := &lease{
-				id:       fmt.Sprintf("l%06d", d.lseq),
+				id:       fmt.Sprintf("l%s-%06d", d.nonce, d.lseq),
 				workerID: workerID,
 				t:        t,
 				deadline: time.Now().Add(d.ttl),
@@ -420,7 +462,7 @@ func (d *dispatcher) nextLease(ctx context.Context, workerID string, wait time.D
 			d.leases[l.id] = l
 			w.active++
 			if t.ckptKey != "" {
-				d.ckptGranted[t.ckptKey] = struct{}{}
+				d.ckptGranted[t.ckptKey] = t.ckpt
 			}
 			d.met.leasesGranted.Add(1)
 			d.mu.Unlock()
@@ -558,14 +600,17 @@ func validateUpload(t *task, up worker.ResultUpload) error {
 	return nil
 }
 
-// ckptPutAllowed reports whether a worker upload may install an artifact
-// under key: only keys the dispatcher itself handed out in leases are
-// writable from outside (and WriteRaw still validates the container).
-func (d *dispatcher) ckptPutAllowed(key string) bool {
+// grantedStore resolves a checkpoint key a worker names to the store
+// its lease granted access to: only keys the dispatcher itself handed
+// out in leases are reachable from outside (and WriteRaw still
+// validates the container). Under tenant isolation the store is the
+// owning tenant's, so a worker's upload lands in the right namespace
+// and its fetch can never read another tenant's artifact.
+func (d *dispatcher) grantedStore(key string) (*ckpt.Store, bool) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	_, ok := d.ckptGranted[key]
-	return ok
+	st, ok := d.ckptGranted[key]
+	return st, ok
 }
 
 // --- metrics ---

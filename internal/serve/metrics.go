@@ -49,6 +49,9 @@ type metrics struct {
 	cacheEvictions     atomic.Int64 // result-cache entries evicted by the byte bound
 	walAppends         atomic.Int64 // job transitions fsync'd to campaign WALs
 	workerReconnects   atomic.Int64 // worker re-registrations after losing the coordinator
+
+	// Identity.
+	authFailures atomic.Int64 // requests refused 401/403 (bad token or wrong role)
 }
 
 // instsPerSecond is the service's aggregate simulation rate: committed
@@ -100,6 +103,7 @@ func (m *metrics) rows() []row {
 		{"sdiqd_result_cache_evictions_total", "Result-cache entries evicted by the byte bound.", "counter", float64(m.cacheEvictions.Load())},
 		{"sdiqd_wal_appends_total", "Job transitions appended to campaign write-ahead logs.", "counter", float64(m.walAppends.Load())},
 		{"sdiqd_worker_reconnects_total", "Worker re-registrations after losing the coordinator.", "counter", float64(m.workerReconnects.Load())},
+		{"sdiqd_auth_failures_total", "Requests refused with 401/403 (bad token or wrong role).", "counter", float64(m.authFailures.Load())},
 	}
 }
 
@@ -108,5 +112,26 @@ func writeRows(w http.ResponseWriter, rows []row) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	for _, r := range rows {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %g\n", r.name, r.help, r.name, r.typ, r.name, r.value)
+	}
+}
+
+// labelRow is one Prometheus sample carrying a label set (the
+// per-tenant rows). labels is pre-rendered, e.g. `{tenant="alice"}`.
+type labelRow struct {
+	name, help, typ string
+	labels          string
+	value           float64
+}
+
+// writeLabelRows emits labeled samples, writing each metric's HELP/TYPE
+// header once even when many label sets share the name.
+func writeLabelRows(w http.ResponseWriter, rows []labelRow) {
+	seen := make(map[string]bool, len(rows))
+	for _, r := range rows {
+		if !seen[r.name] {
+			fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", r.name, r.help, r.name, r.typ)
+			seen[r.name] = true
+		}
+		fmt.Fprintf(w, "%s%s %g\n", r.name, r.labels, r.value)
 	}
 }

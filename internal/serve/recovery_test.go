@@ -263,6 +263,10 @@ func TestRestartWithWorkerAndClientAttached(t *testing.T) {
 	if rec := s2.met.campaignsRecovered.Load(); rec != 1 {
 		t.Errorf("campaigns recovered = %d, want 1", rec)
 	}
+	// The recovered campaign can finish locally (cache hits) before the
+	// worker's jittered re-registration backoff fires; the worker keeps
+	// running until cleanup, so wait for the metric instead of racing it.
+	waitMetric(t, cl, "sdiqd_worker_reconnects_total", 1)
 	if rc := s2.met.workerReconnects.Load(); rc < 1 {
 		t.Errorf("worker reconnects = %d, want >= 1", rc)
 	}

@@ -25,12 +25,14 @@ import (
 	"errors"
 	"fmt"
 	"log"
-	"net"
 	"net/http"
+	"path/filepath"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
+	"repro/internal/auth"
 	"repro/internal/campaign"
 	"repro/internal/ckpt"
 	"repro/internal/store"
@@ -95,6 +97,21 @@ type Config struct {
 	// enforced; 0 means every minute. Irrelevant when neither bound is
 	// set.
 	GCInterval time.Duration
+
+	// Identity and multi-tenancy:
+
+	// Auth, when non-nil, turns authentication on: every /v1/* request
+	// must present a bearer token resolving to a principal of the
+	// route's role (tenant for campaign endpoints, worker for the lease
+	// and checkpoint protocol), and client identity comes from the
+	// authenticated principal, never a header. Nil leaves the service
+	// open, exactly the pre-auth behaviour.
+	Auth *auth.Authenticator
+	// TenantIsolation namespaces the result cache, in-flight dedup and
+	// checkpoint store per client: tenants then never share artifacts —
+	// each pays for its own simulations — and CacheMaxBytes bounds each
+	// tenant's cache separately.
+	TenantIsolation bool
 }
 
 // Server owns the campaign registry, the shared executor gate, the
@@ -120,6 +137,23 @@ type Server struct {
 	campaigns map[string]*campaignRun
 	order     []string
 	active    map[string]int // running campaigns per client
+
+	// tenants is per-client accounting plus, under TenantIsolation, each
+	// tenant's private stores. Guarded by tmu (not mu: tenant stores are
+	// opened lazily on paths that also take mu).
+	tmu     sync.Mutex
+	tenants map[string]*tenantState
+}
+
+// tenantState is one client's accounting and, when isolation is on, its
+// private result cache, checkpoint store and dedup group.
+type tenantState struct {
+	submitted, done, failed int64 // guarded by Server.tmu
+
+	// Isolation-only (nil/zero otherwise):
+	flight *campaign.Flight
+	ckpt   *ckpt.Store     // may stay nil (no CkptDir, or open failed)
+	rcache *campaign.Cache // GC handle on the tenant's cache dir
 }
 
 // campaignRun is one submitted campaign's full lifecycle state.
@@ -174,13 +208,21 @@ func New(cfg Config) *Server {
 		cancel:    cancel,
 		campaigns: make(map[string]*campaignRun),
 		active:    make(map[string]int),
+		tenants:   make(map[string]*tenantState),
 	}
 	// A store that fails to open degrades to checkpointing-off rather
 	// than refusing to serve: the feature is an optimization, not a
 	// correctness dependency. But say so — a typo'd -ckpt silently
 	// costing the fleet its shared warming is a debugging trap.
 	var err error
-	if s.ckpt, err = ckpt.Open(cfg.CkptDir); err != nil {
+	ckptRoot := cfg.CkptDir
+	if cfg.TenantIsolation && ckptRoot != "" {
+		// Tenant stores live under CkptDir/tenants/<client>; the shared
+		// store moves aside so its recursive accounting (DiskStat, GC)
+		// never reaches into a tenant's namespace.
+		ckptRoot = filepath.Join(ckptRoot, "shared")
+	}
+	if s.ckpt, err = ckpt.Open(ckptRoot); err != nil {
 		log.Printf("sdiqd: checkpoint store disabled: %v", err)
 	}
 	if s.store, err = store.Open(cfg.StateDir, cfg.SnapshotEvery); err != nil {
@@ -214,6 +256,19 @@ func (s *Server) recover() {
 	if err != nil {
 		log.Printf("sdiqd: state recovery (intact campaigns still recovered): %v", err)
 	}
+	// Registry and quota mutations happen under s.mu, and the resumed
+	// campaigns' run goroutines start only after the whole loop: a
+	// fast-finishing recovered campaign decrements s.active[client]
+	// under the lock, and starting it mid-loop would race the remaining
+	// increments — leaking (or double-freeing) quota slots.
+	var resumed []*campaignRun
+	s.mu.Lock()
+	defer func() {
+		s.mu.Unlock()
+		for _, rc := range resumed {
+			go s.run(rc)
+		}
+	}()
 	for _, rec := range recs {
 		if n, ok := campaignSeq(rec.Meta.ID); ok && n > s.seq {
 			s.seq = n // never reissue a recovered campaign's ID
@@ -223,15 +278,22 @@ func (s *Server) recover() {
 			log.Printf("sdiqd: recover %s: spec no longer expands: %v", rec.Meta.ID, jerr)
 			continue
 		}
+		// Durable records from before name validation may carry a client
+		// that the grammar now refuses (an IPv6 remote address, say);
+		// sanitize before the name reaches quota maps or tenant paths.
+		client := rec.Meta.Client
+		if !auth.ValidName(client) {
+			client = sanitizeClient(client)
+		}
 		rc := &campaignRun{
 			id:        rec.Meta.ID,
-			client:    rec.Meta.Client,
+			client:    client,
 			spec:      rec.Meta.Spec,
 			jobs:      len(jobs),
 			submitted: rec.Meta.Submitted,
 			tracker:   campaign.NewTracker(jobs),
 			hub:       newHub(len(jobs), s.cfg.EventCompactAfter),
-			ckptKeys:  ckptKeysOf(s.ckpt, jobs),
+			ckptKeys:  ckptKeysOf(s.ckptStoreOf(client), jobs),
 		}
 		s.campaigns[rc.id] = rc
 		s.order = append(s.order, rc.id)
@@ -264,7 +326,7 @@ func (s *Server) recover() {
 		s.met.campaignsRecovered.Add(1)
 		s.met.campaignsActive.Add(1)
 		rc.hub.publish(Event{Type: EventSubmitted, Campaign: rc.id})
-		go s.run(rc)
+		resumed = append(resumed, rc)
 	}
 }
 
@@ -304,7 +366,8 @@ func (s *Server) startJanitor() {
 // gcOnce applies both state bounds: finished campaigns past the
 // registry TTL are dropped (registry, durable state, orphaned
 // checkpoint artifacts), and the result cache is trimmed to its byte
-// bound, LRU first.
+// bound, LRU first — per tenant under isolation, so one tenant's churn
+// cannot evict another's results.
 func (s *Server) gcOnce() {
 	if ttl := s.cfg.RegistryTTL; ttl > 0 {
 		cutoff := time.Now().Add(-ttl)
@@ -322,42 +385,125 @@ func (s *Server) gcOnce() {
 			s.store.Remove(id)
 			s.met.campaignsEvicted.Add(1)
 		}
-		var orphans []string
+		type evictSet struct {
+			keys   []string
+			client string
+		}
+		var evict []evictSet
 		s.mu.Lock()
 		for _, id := range victims {
-			orphans = append(orphans, s.dropLocked(id)...)
+			if keys, client := s.dropLocked(id); len(keys) > 0 {
+				evict = append(evict, evictSet{keys, client})
+			}
 		}
 		s.mu.Unlock()
-		for _, k := range orphans {
-			s.ckpt.Remove(k)
+		for _, e := range evict {
+			st := s.ckptStoreOf(e.client)
+			for _, k := range e.keys {
+				st.Remove(k)
+			}
 		}
 	}
 	if max := s.cfg.CacheMaxBytes; max > 0 {
-		if n, _, err := s.rcache.GC(max); err != nil {
-			log.Printf("sdiqd: result cache gc: %v", err)
-		} else if n > 0 {
-			s.met.cacheEvictions.Add(int64(n))
+		caches := []*campaign.Cache{s.rcache}
+		if s.cfg.TenantIsolation {
+			// Each tenant's cache is bounded separately; the root handle
+			// would enforce one shared LRU bound across all of them.
+			caches = caches[:0]
+			s.tmu.Lock()
+			for _, ts := range s.tenants {
+				if ts.rcache != nil {
+					caches = append(caches, ts.rcache)
+				}
+			}
+			s.tmu.Unlock()
+		}
+		for _, c := range caches {
+			if n, _, err := c.GC(max); err != nil {
+				log.Printf("sdiqd: result cache gc: %v", err)
+			} else if n > 0 {
+				s.met.cacheEvictions.Add(int64(n))
+			}
 		}
 	}
 }
 
-// Handler returns the service's HTTP routes.
+// tenant returns (creating if needed) the client's accounting record,
+// lazily opening its private stores when isolation is on.
+func (s *Server) tenant(client string) *tenantState {
+	s.tmu.Lock()
+	defer s.tmu.Unlock()
+	ts, ok := s.tenants[client]
+	if !ok {
+		ts = &tenantState{}
+		if s.cfg.TenantIsolation {
+			ts.flight = &campaign.Flight{}
+			if s.cfg.CkptDir != "" {
+				var err error
+				if ts.ckpt, err = ckpt.Open(filepath.Join(s.cfg.CkptDir, "tenants", client)); err != nil {
+					log.Printf("sdiqd: tenant %s: checkpoint store disabled: %v", client, err)
+				}
+			}
+			if dir := s.tenantCacheDir(client); dir != "" {
+				var err error
+				if ts.rcache, err = campaign.OpenCache(dir); err != nil {
+					log.Printf("sdiqd: tenant %s: result cache gc disabled: %v", client, err)
+				}
+			}
+		}
+		s.tenants[client] = ts
+	}
+	return ts
+}
+
+// tenantCacheDir is where the client's results cache: a per-tenant
+// subdirectory under isolation, the shared cache otherwise.
+func (s *Server) tenantCacheDir(client string) string {
+	if !s.cfg.TenantIsolation || s.cfg.CacheDir == "" {
+		return s.cfg.CacheDir
+	}
+	return filepath.Join(s.cfg.CacheDir, "tenants", client)
+}
+
+// ckptStoreOf is the checkpoint store the client's campaigns use.
+func (s *Server) ckptStoreOf(client string) *ckpt.Store {
+	if !s.cfg.TenantIsolation {
+		return s.ckpt
+	}
+	return s.tenant(client).ckpt
+}
+
+// flightOf is the in-flight dedup group the client's campaigns share:
+// fleet-wide normally, per-tenant under isolation (cross-tenant dedup
+// would hand one tenant another's results).
+func (s *Server) flightOf(client string) *campaign.Flight {
+	if !s.cfg.TenantIsolation {
+		return s.flight
+	}
+	return s.tenant(client).flight
+}
+
+// Handler returns the service's HTTP routes. With Config.Auth set,
+// every /v1/* route is gated on a bearer token of the route's role
+// (tenant for the campaign surface — SSE and export included — worker
+// for the lease protocol and checkpoint shipping); /metrics takes an
+// optional token and /healthz stays open for load balancers.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/campaigns", s.handleSubmit)
-	mux.HandleFunc("GET /v1/campaigns", s.handleList)
-	mux.HandleFunc("GET /v1/campaigns/{id}", s.handleStatus)
-	mux.HandleFunc("GET /v1/campaigns/{id}/events", s.handleEvents)
-	mux.HandleFunc("GET /v1/campaigns/{id}/export", s.handleExport)
-	mux.HandleFunc("DELETE /v1/campaigns/{id}", s.handleDelete)
-	mux.HandleFunc("POST /v1/workers", s.handleWorkerRegister)
-	mux.HandleFunc("DELETE /v1/workers/{id}", s.handleWorkerDeregister)
-	mux.HandleFunc("POST /v1/leases", s.handleLease)
-	mux.HandleFunc("POST /v1/leases/{id}/heartbeat", s.handleHeartbeat)
-	mux.HandleFunc("POST /v1/leases/{id}/result", s.handleLeaseResult)
-	mux.HandleFunc("GET /v1/checkpoints/{key}", s.handleCkptGet)
-	mux.HandleFunc("PUT /v1/checkpoints/{key}", s.handleCkptPut)
-	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("POST /v1/campaigns", s.requireRole(auth.RoleTenant, s.handleSubmit))
+	mux.HandleFunc("GET /v1/campaigns", s.requireRole(auth.RoleTenant, s.handleList))
+	mux.HandleFunc("GET /v1/campaigns/{id}", s.requireRole(auth.RoleTenant, s.handleStatus))
+	mux.HandleFunc("GET /v1/campaigns/{id}/events", s.requireRole(auth.RoleTenant, s.handleEvents))
+	mux.HandleFunc("GET /v1/campaigns/{id}/export", s.requireRole(auth.RoleTenant, s.handleExport))
+	mux.HandleFunc("DELETE /v1/campaigns/{id}", s.requireRole(auth.RoleTenant, s.handleDelete))
+	mux.HandleFunc("POST /v1/workers", s.requireRole(auth.RoleWorker, s.handleWorkerRegister))
+	mux.HandleFunc("DELETE /v1/workers/{id}", s.requireRole(auth.RoleWorker, s.handleWorkerDeregister))
+	mux.HandleFunc("POST /v1/leases", s.requireRole(auth.RoleWorker, s.handleLease))
+	mux.HandleFunc("POST /v1/leases/{id}/heartbeat", s.requireRole(auth.RoleWorker, s.handleHeartbeat))
+	mux.HandleFunc("POST /v1/leases/{id}/result", s.requireRole(auth.RoleWorker, s.handleLeaseResult))
+	mux.HandleFunc("GET /v1/checkpoints/{key}", s.requireRole(auth.RoleWorker, s.handleCkptGet))
+	mux.HandleFunc("PUT /v1/checkpoints/{key}", s.requireRole(auth.RoleWorker, s.handleCkptPut))
+	mux.HandleFunc("GET /metrics", s.optionalAuth(s.handleMetrics))
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
@@ -391,19 +537,6 @@ func (s *Server) Drain(ctx context.Context) error {
 
 // Close cancels every running campaign immediately.
 func (s *Server) Close() { s.cancel() }
-
-// clientID identifies the submitting client for quota accounting: the
-// X-Sdiq-Client header when present, else the remote host.
-func clientID(r *http.Request) string {
-	if id := r.Header.Get("X-Sdiq-Client"); id != "" {
-		return id
-	}
-	host, _, err := net.SplitHostPort(r.RemoteAddr)
-	if err != nil {
-		return r.RemoteAddr
-	}
-	return host
-}
 
 // apiError is the uniform error body.
 type apiError struct {
@@ -449,8 +582,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	client := clientID(r)
-	ckptKeys := ckptKeysOf(s.ckpt, jobs)
+	client, cerr := s.clientOf(r)
+	if cerr != nil {
+		writeError(w, http.StatusBadRequest, "%v", cerr)
+		return
+	}
+	ckptKeys := ckptKeysOf(s.ckptStoreOf(client), jobs)
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
@@ -499,6 +636,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 	s.met.campaignsSubmitted.Add(1)
 	s.met.campaignsActive.Add(1)
+	ts := s.tenant(client)
+	s.tmu.Lock()
+	ts.submitted++
+	s.tmu.Unlock()
 	rc.hub.publish(Event{Type: EventSubmitted, Campaign: id})
 	go s.run(rc)
 
@@ -515,16 +656,22 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 // tracker, event hub and metrics.
 func (s *Server) run(rc *campaignRun) {
 	defer s.wg.Done()
+	// Everything tenant-scoped is resolved once per campaign: under
+	// isolation the cache dir, checkpoint store and dedup group are the
+	// owner's private ones, and the runner pins jobs (local or remote) to
+	// the same store so a worker's uploaded artifact lands in the right
+	// namespace.
+	tckpt := s.ckptStoreOf(rc.client)
 	eng := &campaign.Engine{
 		// Per-campaign parallelism: the local gate bounds in-process
 		// simulations; live remote capacity is added on top so a fleet
 		// actually raises throughput instead of idling behind the gate.
 		Workers:  cap(s.gate) + s.disp.extraCapacity(),
-		CacheDir: s.cfg.CacheDir,
-		Ckpt:     s.ckpt,
-		Flight:   s.flight,
+		CacheDir: s.tenantCacheDir(rc.client),
+		Ckpt:     tckpt,
+		Flight:   s.flightOf(rc.client),
 		Gate:     s.gate,
-		Runner:   s.disp, // remote-or-local routing per cache-missed job
+		Runner:   &tenantRunner{d: s.disp, ckpt: tckpt}, // remote-or-local routing per cache-missed job
 		OnResult: func(r campaign.Result) {
 			switch {
 			case r.Dedup:
@@ -590,6 +737,15 @@ func (s *Server) run(rc *campaignRun) {
 	rc.hub.publish(done)
 	rc.hub.close()
 
+	ts := s.tenant(rc.client)
+	s.tmu.Lock()
+	if err != nil {
+		ts.failed++
+	} else {
+		ts.done++
+	}
+	s.tmu.Unlock()
+
 	s.met.campaignsActive.Add(-1)
 	s.mu.Lock()
 	if s.active[rc.client]--; s.active[rc.client] <= 0 {
@@ -633,18 +789,27 @@ func (s *Server) info(rc *campaignRun, withJobs bool) CampaignInfo {
 	return info
 }
 
+// lookup resolves {id} to a campaign the request's principal may see.
+// A campaign owned by another tenant reads as absent — status, events,
+// export and delete all answer 404, never 403, so tenants cannot probe
+// each other's ID space.
 func (s *Server) lookup(r *http.Request) (*campaignRun, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	rc, ok := s.campaigns[r.PathValue("id")]
-	return rc, ok
+	if !ok || !s.ownsCampaign(r, rc) {
+		return nil, false
+	}
+	return rc, true
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	runs := make([]*campaignRun, 0, len(s.order))
 	for _, id := range s.order {
-		runs = append(runs, s.campaigns[id])
+		if rc := s.campaigns[id]; s.ownsCampaign(r, rc) {
+			runs = append(runs, rc)
+		}
 	}
 	s.mu.Unlock()
 	out := make([]CampaignInfo, 0, len(runs))
@@ -730,10 +895,54 @@ func ckptKeysOf(store *ckpt.Store, jobs []campaign.Job) map[string]struct{} {
 }
 
 // handleMetrics renders the counters plus the dispatcher's live worker
-// and lease gauges and the checkpoint store's counters.
+// and lease gauges, the checkpoint store's counters, and — when
+// identity is in play — per-tenant labeled rows.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	rows := append(s.met.rows(), s.disp.rows()...)
 	writeRows(w, append(rows, s.ckptRows()...))
+	writeLabelRows(w, s.tenantRows())
+}
+
+// tenantRows renders sdiqd_tenant_* per-client rows. They exist only
+// when auth or isolation is on — an open single-user service keeps its
+// scrape output exactly as before.
+func (s *Server) tenantRows() []labelRow {
+	if s.cfg.Auth == nil && !s.cfg.TenantIsolation {
+		return nil
+	}
+	s.mu.Lock()
+	active := make(map[string]int, len(s.active))
+	for c, n := range s.active {
+		active[c] = n
+	}
+	s.mu.Unlock()
+
+	s.tmu.Lock()
+	defer s.tmu.Unlock()
+	names := make([]string, 0, len(s.tenants))
+	for c := range s.tenants {
+		names = append(names, c)
+	}
+	sort.Strings(names)
+	var rows []labelRow
+	for _, c := range names {
+		ts := s.tenants[c]
+		lbl := fmt.Sprintf(`{tenant=%q}`, c)
+		rows = append(rows,
+			labelRow{"sdiqd_tenant_campaigns_submitted_total", "Campaigns submitted, by tenant.", "counter", lbl, float64(ts.submitted)},
+			labelRow{"sdiqd_tenant_campaigns_done_total", "Campaigns finished successfully, by tenant.", "counter", lbl, float64(ts.done)},
+			labelRow{"sdiqd_tenant_campaigns_failed_total", "Campaigns finished with an error, by tenant.", "counter", lbl, float64(ts.failed)},
+			labelRow{"sdiqd_tenant_campaigns_active", "Campaigns currently running, by tenant.", "gauge", lbl, float64(active[c])},
+		)
+		if s.cfg.TenantIsolation && ts.ckpt != nil {
+			artifacts, bytes := ts.ckpt.DiskStat()
+			rows = append(rows,
+				labelRow{"sdiqd_tenant_ckpt_artifacts", "Checkpoint artifacts on disk, by tenant.", "gauge", lbl, float64(artifacts)},
+				labelRow{"sdiqd_tenant_ckpt_store_bytes", "Checkpoint artifact bytes on disk, by tenant.", "gauge", lbl, float64(bytes)},
+			)
+		}
+	}
+	return rows
 }
 
 // ckptRows renders the checkpoint store's live metrics (nil store → no
@@ -766,7 +975,9 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	s.mu.Lock()
 	rc, ok := s.campaigns[id]
-	if !ok {
+	if !ok || !s.ownsCampaign(r, rc) {
+		// Another tenant's campaign answers 404, not 403: the ID space
+		// must not leak across tenants.
 		s.mu.Unlock()
 		writeError(w, http.StatusNotFound, "no campaign %q", id)
 		return
@@ -776,25 +987,30 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusConflict, "campaign %s is still running", id)
 		return
 	}
-	orphans := s.dropLocked(id)
+	orphans, client := s.dropLocked(id)
 	s.mu.Unlock()
 	s.store.Remove(id)
+	st := s.ckptStoreOf(client)
 	for _, k := range orphans {
-		s.ckpt.Remove(k)
+		st.Remove(k)
 	}
 	s.met.campaignsDeleted.Add(1)
 	w.WriteHeader(http.StatusNoContent)
 }
 
 // dropLocked removes a campaign from the registry (the caller holds
-// s.mu) and returns the checkpoint keys orphaned by its departure: the
+// s.mu) and returns the checkpoint keys orphaned by its departure — the
 // campaign's keys minus every key a surviving campaign (running or
-// finished) can still reference.
-func (s *Server) dropLocked(id string) []string {
+// finished) can still reference — plus the owning client, so the caller
+// evicts from that tenant's store. Under isolation the reference check
+// only counts same-tenant campaigns: another tenant referencing the
+// same key holds its own copy in its own store.
+func (s *Server) dropLocked(id string) (orphans []string, client string) {
 	rc, ok := s.campaigns[id]
 	if !ok {
-		return nil
+		return nil, ""
 	}
+	client = rc.client
 	delete(s.campaigns, id)
 	for i, oid := range s.order {
 		if oid == id {
@@ -802,10 +1018,12 @@ func (s *Server) dropLocked(id string) []string {
 			break
 		}
 	}
-	var orphans []string
 	for k := range rc.ckptKeys {
 		referenced := false
 		for _, other := range s.campaigns {
+			if s.cfg.TenantIsolation && other.client != rc.client {
+				continue
+			}
 			if _, ok := other.ckptKeys[k]; ok {
 				referenced = true
 				break
@@ -815,7 +1033,7 @@ func (s *Server) dropLocked(id string) []string {
 			orphans = append(orphans, k)
 		}
 	}
-	return orphans
+	return orphans, client
 }
 
 // errCampaignFailed wraps a failed campaign's server-side error for

@@ -51,6 +51,10 @@ type API struct {
 	Base string
 	// HTTP is the transport; nil means http.DefaultClient.
 	HTTP *http.Client
+	// Token, when non-empty, is sent as "Authorization: Bearer" on every
+	// request — required against a server running with -auth (a
+	// worker-role credential).
+	Token string
 }
 
 // NewAPI returns a protocol client for the server at base.
@@ -63,6 +67,13 @@ func (a *API) http() *http.Client {
 		return a.HTTP
 	}
 	return http.DefaultClient
+}
+
+// authorize stamps the bearer credential onto an outgoing request.
+func (a *API) authorize(req *http.Request) {
+	if a.Token != "" {
+		req.Header.Set("Authorization", "Bearer "+a.Token)
+	}
 }
 
 // call performs one JSON request. A nil out discards the body. noBody
@@ -84,6 +95,7 @@ func (a *API) call(ctx context.Context, method, path string, in, out any) (statu
 	if in != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	a.authorize(req)
 	resp, err := a.http().Do(req)
 	if err != nil {
 		return 0, fmt.Errorf("worker: %s %s: %w", method, path, err)
@@ -168,6 +180,7 @@ func (a *API) FetchCkpt(ctx context.Context, key string) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	a.authorize(req)
 	resp, err := a.http().Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("worker: GET %s: %w", path, err)
@@ -188,6 +201,7 @@ func (a *API) PushCkpt(ctx context.Context, key string, data []byte) error {
 		return err
 	}
 	req.Header.Set("Content-Type", "application/octet-stream")
+	a.authorize(req)
 	resp, err := a.http().Do(req)
 	if err != nil {
 		return fmt.Errorf("worker: PUT %s: %w", path, err)

@@ -33,7 +33,14 @@ import (
 // registrations from workers speaking a different version, which turns
 // a skewed-binary fleet into a clean startup error instead of subtle
 // result corruption.
-const ProtocolVersion = 1
+//
+// Version 2 adds transport-layer bearer authentication: against a
+// server started with -auth, every request — register, lease,
+// heartbeat, upload, checkpoint GET/PUT — carries
+// "Authorization: Bearer <token>" for a worker-role principal. The
+// wire bodies are unchanged; version 1 workers are refused at
+// registration because they cannot know to send the credential.
+const ProtocolVersion = 2
 
 // RegisterRequest announces a worker to the server.
 type RegisterRequest struct {

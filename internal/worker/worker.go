@@ -43,6 +43,9 @@ type Worker struct {
 	// coordinator restart is survived by waiting, not by dying.
 	RetryBase time.Duration
 	RetryMax  time.Duration
+	// Token is the worker-role bearer credential, required against a
+	// server running with -auth; "" sends no Authorization header.
+	Token string
 	// API overrides the protocol client (tests); nil builds one from
 	// Server.
 	API *API
@@ -159,6 +162,9 @@ func (w *Worker) Run(ctx context.Context) error {
 	api := w.API
 	if api == nil {
 		api = NewAPI(w.Server)
+	}
+	if api.Token == "" {
+		api.Token = w.Token
 	}
 	conc := w.Concurrency
 	if conc < 1 {

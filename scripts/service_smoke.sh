@@ -3,12 +3,16 @@
 # sampled campaign against it with sdiq -remote, and require the
 # client-side AND server-side CSV exports to be byte-identical to the
 # same spec run locally. Also exercises /metrics and graceful SIGTERM
-# drain. CI runs this on every push; it needs only bash, curl and go.
+# drain, then re-runs the service with -auth: unauthenticated probes
+# must be refused with 401 and the authenticated sweep must still be
+# byte-identical. CI runs this on every push; it needs only bash, curl
+# and go.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 ADDR="${SDIQD_ADDR:-127.0.0.1:8471}"
 WORK="$(mktemp -d)"
+SRV_PID=""
 trap 'kill "$SRV_PID" 2>/dev/null || true; rm -rf "$WORK"' EXIT
 
 echo "== build"
@@ -55,5 +59,36 @@ if kill -0 "$SRV_PID" 2>/dev/null; then
     echo "sdiqd ignored SIGTERM"; exit 1
 fi
 grep -q "drained" "$WORK/sdiqd.log"
+
+echo "== restart sdiqd with -auth"
+TOKEN="smoke-tenant-secret"
+cat >"$WORK/tokens.json" <<EOF
+{"tokens": [{"token": "$TOKEN", "principal": "smoke", "role": "tenant"}]}
+EOF
+"$WORK/sdiqd" -addr "$ADDR" -cache "$WORK/cache" -quota 8 -auth "$WORK/tokens.json" >"$WORK/sdiqd-auth.log" 2>&1 &
+SRV_PID=$!
+for _ in $(seq 1 50); do
+    curl -fs "http://$ADDR/healthz" >/dev/null 2>&1 && break
+    sleep 0.2
+done
+curl -fs "http://$ADDR/healthz" >/dev/null
+
+echo "== unauthenticated and bad-token probes must be 401"
+CODE=$(curl -s -o /dev/null -w '%{http_code}' "http://$ADDR/v1/campaigns")
+[ "$CODE" = "401" ] || { echo "no-token probe got $CODE, want 401"; exit 1; }
+CODE=$(curl -s -o /dev/null -w '%{http_code}' -H "Authorization: Bearer wrong-token" "http://$ADDR/v1/campaigns")
+[ "$CODE" = "401" ] || { echo "bad-token probe got $CODE, want 401"; exit 1; }
+
+echo "== authenticated campaign must still be byte-identical"
+"$WORK/sdiq" -remote "http://$ADDR" -token "$TOKEN" "${SPEC[@]}" -export "$WORK/authed.csv" >/dev/null
+diff "$WORK/authed.csv" "$WORK/local.csv"
+# Snapshot metrics to a file before grepping: grep -q closing the pipe
+# early would fail curl (and the script, under pipefail) spuriously.
+curl -fs "http://$ADDR/metrics" >"$WORK/metrics-auth.txt"
+grep -q '^sdiqd_auth_failures_total [1-9]' "$WORK/metrics-auth.txt" || {
+    echo "refused probes were not counted"; exit 1
+}
+
+kill -TERM "$SRV_PID"
 
 echo "service smoke OK"

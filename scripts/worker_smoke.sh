@@ -7,12 +7,16 @@
 # server. The server and both workers run with -ckpt, so the sampled
 # sweep also smokes checkpoint sharing: warm state generated on one
 # worker must be shipped through the server and reused, never recomputed.
-# CI runs this on every push; it needs only bash, curl and go.
+# A second phase re-runs the whole fleet with -auth: the worker carries
+# its bearer token, bad-token probes are refused with 401, and the
+# authed remote sweep is still byte-identical to the local run. CI runs
+# this on every push; it needs only bash, curl and go.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 ADDR="${SDIQD_ADDR:-127.0.0.1:8473}"
 WORK="$(mktemp -d)"
+SRV_PID=""; W1_PID=""; W2_PID=""
 trap 'kill "$SRV_PID" "$W1_PID" "$W2_PID" 2>/dev/null || true; rm -rf "$WORK"' EXIT
 
 echo "== build"
@@ -90,5 +94,56 @@ if kill -0 "$SRV_PID" 2>/dev/null; then
     echo "sdiqd ignored SIGTERM"; exit 1
 fi
 grep -q "drained" "$WORK/sdiqd.log"
+
+echo "== authed fleet: restart server with -auth, worker presents its token"
+TENANT_TOKEN="smoke-tenant-secret"
+WORKER_TOKEN="smoke-worker-secret"
+cat >"$WORK/tokens.json" <<EOF
+{"tokens": [
+  {"token": "$TENANT_TOKEN", "principal": "smoke", "role": "tenant"},
+  {"token": "$WORKER_TOKEN", "principal": "fleet", "role": "worker"}
+]}
+EOF
+"$WORK/sdiqd" -addr "$ADDR" -cache "$WORK/cache-auth" -ckpt "$WORK/ckpt-auth" -lease-ttl 5s \
+    -auth "$WORK/tokens.json" >"$WORK/sdiqd-auth.log" 2>&1 &
+SRV_PID=$!
+for _ in $(seq 1 50); do
+    curl -fs "http://$ADDR/healthz" >/dev/null 2>&1 && break
+    sleep 0.2
+done
+curl -fs "http://$ADDR/healthz" >/dev/null
+
+echo "== bad-token probes must be 401 (register and submit)"
+CODE=$(curl -s -o /dev/null -w '%{http_code}' -X POST -H "Authorization: Bearer wrong-token" "http://$ADDR/v1/workers")
+[ "$CODE" = "401" ] || { echo "bad-token register probe got $CODE, want 401"; exit 1; }
+CODE=$(curl -s -o /dev/null -w '%{http_code}' -X POST "http://$ADDR/v1/campaigns")
+[ "$CODE" = "401" ] || { echo "no-token submit probe got $CODE, want 401"; exit 1; }
+
+echo "== authed worker connects, tenant-token probe of the worker API is 403"
+SDIQ_TOKEN="$WORKER_TOKEN" "$WORK/sdiqw" -server "http://$ADDR" -name smoke-auth \
+    -scratch "$WORK/scratch-auth" -ckpt "$WORK/ckptw-auth" -parallel 2 >"$WORK/sdiqw-auth.log" 2>&1 &
+W1_PID=$!
+for _ in $(seq 1 50); do
+    N=$(curl -fs "http://$ADDR/metrics" | awk '/^sdiqd_workers_connected /{print $2}')
+    [ "${N:-0}" = "1" ] && break
+    sleep 0.2
+done
+[ "$(curl -fs "http://$ADDR/metrics" | awk '/^sdiqd_workers_connected /{print $2}')" = "1" ] || {
+    echo "authed worker never connected"; cat "$WORK/sdiqw-auth.log"; exit 1
+}
+CODE=$(curl -s -o /dev/null -w '%{http_code}' -X POST -H "Authorization: Bearer $TENANT_TOKEN" "http://$ADDR/v1/workers")
+[ "$CODE" = "403" ] || { echo "tenant-token register probe got $CODE, want 403"; exit 1; }
+
+echo "== authed remote sweep must be byte-identical, with remote execution"
+"$WORK/sdiq" -remote "http://$ADDR" -token "$TENANT_TOKEN" "${SPEC[@]}" -export "$WORK/authed.csv" >/dev/null
+diff "$WORK/authed.csv" "$WORK/local.csv"
+# Snapshot metrics to a file before grepping: grep -q closing the pipe
+# early would fail curl (and the script, under pipefail) spuriously.
+curl -fs "http://$ADDR/metrics" >"$WORK/metrics-auth.txt"
+grep -q '^sdiqd_jobs_remote_total [1-9]' "$WORK/metrics-auth.txt" || {
+    echo "no job ran remotely under auth"; cat "$WORK/sdiqw-auth.log"; exit 1
+}
+
+kill -TERM "$W1_PID" "$SRV_PID"
 
 echo "worker smoke OK"

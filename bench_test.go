@@ -355,6 +355,49 @@ func BenchmarkEmulatorThroughput(b *testing.B) {
 	b.SetBytes(100_000)
 }
 
+// BenchmarkEmulatorDecodeCache measures the decoded-dispatch emulator
+// path explicitly (the default; EmulatorThroughput tracks the same path
+// for trajectory continuity). The ratio EmulatorUncached/
+// EmulatorDecodeCache is the decode cache's realised speedup, recorded
+// as decode_cache_speedup in BENCH_simcore.json.
+func BenchmarkEmulatorDecodeCache(b *testing.B) {
+	bench, _ := workload.ByName("crafty")
+	p := bench.Build(42)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		e := mustEmu(b, p)
+		e.SetDecode(true)
+		b.StartTimer()
+		for n := 0; n < 100_000; n++ {
+			if _, ok := e.Next(); !ok {
+				b.Fatal("halted")
+			}
+		}
+	}
+	b.SetBytes(100_000)
+}
+
+// BenchmarkEmulatorUncached measures the reference interpreter — the
+// per-instruction re-decode path the decode cache replaces.
+func BenchmarkEmulatorUncached(b *testing.B) {
+	bench, _ := workload.ByName("crafty")
+	p := bench.Build(42)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		e := mustEmu(b, p)
+		e.SetDecode(false)
+		b.StartTimer()
+		for n := 0; n < 100_000; n++ {
+			if _, ok := e.Next(); !ok {
+				b.Fatal("halted")
+			}
+		}
+	}
+	b.SetBytes(100_000)
+}
+
 // BenchmarkSampledCampaign measures end-to-end sampled-campaign
 // throughput on the standard three-benchmark sweep — the quantity the
 // sampled-simulation engine exists to raise. Compare against
@@ -419,6 +462,24 @@ func BenchmarkSweepCkpt(b *testing.B) {
 		b.Fatal(err)
 	}
 	eng := &campaign.Engine{Workers: 1, Ckpt: store}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Run(context.Background(), spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(8 * 1_000_000)
+}
+
+// BenchmarkLockstepSweep runs the acceptance sweep with lockstep
+// batching and no store: ONE emulator + warming stream feeds all eight
+// detailed cores, so the shared functional work is paid once instead of
+// eight times. The ratio SweepNoCkpt/LockstepSweep is the lockstep
+// engine's realised speedup, recorded as lockstep_speedup in
+// BENCH_simcore.json (acceptance gate: >= 2x on this sweep).
+func BenchmarkLockstepSweep(b *testing.B) {
+	spec := ckptSweepSpec()
+	eng := &campaign.Engine{Workers: 1, Lockstep: true}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := eng.Run(context.Background(), spec); err != nil {

@@ -63,14 +63,53 @@ type Engine struct {
 	// share one warming pass per CheckpointKey instead of each
 	// recomputing it. A Runner is expected to carry its own store.
 	Ckpt *ckpt.Store
+	// Lockstep groups cache-missed sampled jobs that share a
+	// CheckpointKey (one functional identity: benchmark, seed, budget,
+	// warming class, geometry, regime) into lockstep batches: one
+	// emulator + warming stream fans each detailed window out to every
+	// cell's core (sample.RunLockstepStored), so the sweep axis becomes
+	// a batch dimension of the hot loop. Per-cell JobKeys, caching,
+	// delivery and exports are unchanged, and per-cell results are
+	// bit-identical to the per-job path. Only inline local execution
+	// batches: an engine with a Runner (the campaign service) or a
+	// shared Flight schedules per job, where fleet-wide dedup owns the
+	// sharing. Batches never span Run calls, so two tenants' campaigns
+	// can never share one.
+	Lockstep bool
+}
+
+// lockstepUnits plans the campaign's work units: each unit is a list of
+// job indices executed together. Jobs sharing a non-empty CheckpointKey
+// form one lockstep batch (in deterministic first-seen order); exact
+// and unkeyable jobs stay solo.
+func lockstepUnits(jobs []Job) [][]int {
+	groups := map[string]int{}
+	var units [][]int
+	for i := range jobs {
+		var key string
+		if jobs[i].Sampling != nil {
+			key, _ = CheckpointKey(&jobs[i])
+		}
+		if key == "" {
+			units = append(units, []int{i})
+			continue
+		}
+		if u, ok := groups[key]; ok {
+			units[u] = append(units[u], i)
+		} else {
+			groups[key] = len(units)
+			units = append(units, []int{i})
+		}
+	}
+	return units
 }
 
 // jobQueue is one worker's share of the campaign. The owner pops from
 // the front; idle workers steal from the back, so an owner and a thief
-// contend only on the last job of a queue.
+// contend only on the last unit of a queue.
 type jobQueue struct {
 	mu   sync.Mutex
-	jobs []int // indices into the campaign's job slice
+	jobs []int // indices into the campaign's work-unit slice
 }
 
 func (q *jobQueue) pop() (int, bool) {
@@ -119,12 +158,26 @@ func (e *Engine) Run(ctx context.Context, spec Spec) (*ResultSet, error) {
 		return rs, nil
 	}
 
+	// Work units: normally one job each; with lockstep active, jobs
+	// sharing a functional identity form one multi-cell batch unit.
+	// Engines with a Runner or a shared Flight schedule per job — there
+	// the service dispatcher and fleet-wide dedup own the sharing.
+	var units [][]int
+	if e.Lockstep && e.Runner == nil && e.Flight == nil {
+		units = lockstepUnits(jobs)
+	} else {
+		units = make([][]int, len(jobs))
+		for i := range jobs {
+			units[i] = []int{i}
+		}
+	}
+
 	workers := e.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(jobs) {
-		workers = len(jobs)
+	if workers > len(units) {
+		workers = len(units)
 	}
 
 	ctx, cancel := context.WithCancel(ctx)
@@ -134,7 +187,7 @@ func (e *Engine) Run(ctx context.Context, spec Spec) (*ResultSet, error) {
 	for w := range queues {
 		queues[w] = &jobQueue{}
 	}
-	for i := range jobs {
+	for i := range units {
 		q := queues[i%workers]
 		q.jobs = append(q.jobs, i)
 	}
@@ -282,6 +335,94 @@ func (e *Engine) Run(ctx context.Context, spec Spec) (*ResultSet, error) {
 		deliver(idx, res, how)
 	}
 
+	// runBatch executes one lockstep unit. Cells served by the cache
+	// leave the batch first; whatever remains runs as one shared-stream
+	// execution under a single Gate slot (the batch is one simulation's
+	// worth of functional work — that sharing is the point), delivering,
+	// caching and error-reporting per cell exactly like runJob.
+	runBatch := func(idxs []int) {
+		run := idxs[:0:0]
+		keys := make(map[int]string, len(idxs))
+		for _, idx := range idxs {
+			job := &jobs[idx]
+			var key string
+			if cache != nil {
+				if k, err := JobKey(job, spec.Params); err == nil {
+					key = k
+				}
+			}
+			keys[idx] = key
+			if key != "" {
+				if res, ok := cache.get(key); ok {
+					res.Point = job.Point
+					deliver(idx, res, howCached)
+					continue
+				}
+			}
+			run = append(run, idx)
+		}
+		if len(run) == 0 {
+			return
+		}
+		if len(run) == 1 {
+			// A one-cell batch is just a job; the solo path also re-probes
+			// the cache and keeps the two executors trivially aligned.
+			runJob(run[0])
+			return
+		}
+		if e.Gate != nil {
+			if err := e.Gate.Acquire(ctx); err != nil {
+				return // cancelled while queued: skipped, not failed
+			}
+		}
+		if e.OnJobStart != nil {
+			mu.Lock()
+			for _, idx := range run {
+				e.OnJobStart(jobs[idx])
+			}
+			mu.Unlock()
+		}
+		bjobs := make([]*Job, len(run))
+		for i, idx := range run {
+			bjobs[i] = &jobs[idx]
+		}
+		results, cerrs, gerr := ExecuteBatchStored(ctx, bjobs, e.Ckpt)
+		if e.Gate != nil {
+			e.Gate.Release()
+		}
+		fail := func(idx int, err error) {
+			if ctx.Err() != nil && errors.Is(err, ctx.Err()) {
+				return // cancellation is a skip, not a failure
+			}
+			mu.Lock()
+			errs = append(errs, err)
+			if e.OnJobError != nil {
+				e.OnJobError(jobs[idx], err)
+			}
+			mu.Unlock()
+			cancel()
+		}
+		if gerr != nil && cerrs == nil {
+			// Setup failed before any cell could run: every cell reports it.
+			for _, idx := range run {
+				fail(idx, fmt.Errorf("%s: %w", jobs[idx].ID(), gerr))
+			}
+			return
+		}
+		for i, idx := range run {
+			if cerrs != nil && cerrs[i] != nil {
+				// A mid-batch cell failure sinks only its own cell; its
+				// batchmates' results still land below.
+				fail(idx, cerrs[i])
+				continue
+			}
+			if cache != nil && keys[idx] != "" {
+				_ = cache.put(keys[idx], results[i])
+			}
+			deliver(idx, results[i], howExecuted)
+		}
+	}
+
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -295,7 +436,11 @@ func (e *Engine) Run(ctx context.Context, spec Spec) (*ResultSet, error) {
 				if !ok {
 					return
 				}
-				runJob(idx)
+				if u := units[idx]; len(u) == 1 {
+					runJob(u[0])
+				} else {
+					runBatch(u)
+				}
 			}
 		}(w)
 	}

@@ -145,16 +145,7 @@ func ExecuteStored(ctx context.Context, job *Job, store *ckpt.Store) (res Result
 			return res, fmt.Errorf("%s: %w", job.ID(), err)
 		}
 		res.Stats = rep.Stats
-		res.Sampled = &SampledMeta{
-			Windows:        len(rep.Windows),
-			SampledInsts:   rep.SampledReal,
-			TotalInsts:     rep.TotalReal,
-			Confidence:     rep.Confidence,
-			IPC:            rep.IPC,
-			DL1MissRate:    rep.DL1MissRate,
-			L2MissRate:     rep.L2MissRate,
-			MispredictRate: rep.MispredictRate,
-		}
+		res.Sampled = sampledMetaOf(rep)
 		return res, nil
 	}
 	st, err := sim.RunProgramContext(ctx, job.Config, p, job.Budget)
@@ -163,4 +154,84 @@ func ExecuteStored(ctx context.Context, job *Job, store *ckpt.Store) (res Result
 	}
 	res.Stats = st
 	return res, nil
+}
+
+// sampledMetaOf converts a sampling report to the result view; shared by
+// the solo and lockstep executors so both populate it identically.
+func sampledMetaOf(rep *sample.Report) *SampledMeta {
+	return &SampledMeta{
+		Windows:        len(rep.Windows),
+		SampledInsts:   rep.SampledReal,
+		TotalInsts:     rep.TotalReal,
+		Confidence:     rep.Confidence,
+		IPC:            rep.IPC,
+		DL1MissRate:    rep.DL1MissRate,
+		L2MissRate:     rep.L2MissRate,
+		MispredictRate: rep.MispredictRate,
+	}
+}
+
+// ExecuteBatchStored runs a lockstep batch: sampled jobs sharing one
+// functional identity (equal CheckpointKey — same benchmark, seed,
+// budget, warming class, cache/predictor geometry and regime) execute as
+// K cells over ONE emulator + functional-warming stream, paying the
+// shared work once. The program is prepared once (within a warming class
+// the instrumentation is identical), and with a store attached the whole
+// batch touches the checkpoint artifact once.
+//
+// Per-cell results are bit-identical to ExecuteStored running each job
+// alone — the differential suites in internal/sample assert this. The
+// returned errs slice (nil when every cell succeeded) carries per-cell
+// failures: one broken cell does not sink its batchmates. A non-nil
+// global error reports setup failures or cancellation that apply to
+// every cell.
+func ExecuteBatchStored(ctx context.Context, jobs []*Job, store *ckpt.Store) (results []Result, errs []error, err error) {
+	results = make([]Result, len(jobs))
+	for i, job := range jobs {
+		results[i] = Result{Bench: job.Bench, Tech: job.Tech, Point: job.Point}
+	}
+	if err := ctx.Err(); err != nil {
+		return results, nil, err
+	}
+	if jobs[0].Sampling == nil {
+		return results, nil, fmt.Errorf("campaign: lockstep batch needs sampled jobs")
+	}
+	started := time.Now().UTC()
+	p, prep, perr := Prepare(jobs[0])
+	if perr != nil {
+		return results, nil, perr
+	}
+	cfgs := make([]sim.Config, len(jobs))
+	for i, job := range jobs {
+		cfgs[i] = job.Config
+	}
+	var key string
+	if store != nil {
+		// An unkeyable job still runs; it just can't share warm state.
+		key, _ = CheckpointKey(jobs[0])
+	}
+	cells, gerr := sample.RunLockstepStored(ctx, cfgs, p, jobs[0].Budget, jobs[0].Sampling.engineConfig(), store, key)
+	if cells == nil {
+		return results, nil, gerr
+	}
+	finished := time.Now().UTC()
+	errs = make([]error, len(jobs))
+	failed := false
+	for i, job := range jobs {
+		res := &results[i]
+		res.GenMS, res.CompileMS, res.Hints = prep.GenMS, prep.CompileMS, prep.Hints
+		res.StartedAt, res.FinishedAt = started, finished
+		if cells[i].Err != nil {
+			errs[i] = fmt.Errorf("%s: %w", job.ID(), cells[i].Err)
+			failed = true
+			continue
+		}
+		rep := cells[i].Report
+		res.Stats = rep.Stats
+		res.Sampled = sampledMetaOf(rep)
+	}
+	if !failed {
+		errs = nil
+	}
+	return results, errs, gerr
 }

@@ -1,0 +1,219 @@
+package emu_test
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/emu"
+	"repro/internal/prog"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// decodeDiffCap bounds the dynamic records compared per program: enough
+// to wrap short loops many times and cross every block boundary shape,
+// small enough for the fuzzer to stay fast.
+const decodeDiffCap = 4_000
+
+// diffStreams runs p twice — decoded dispatch and reference interpreter —
+// and requires the two dynamic streams identical record by record, plus
+// matching final architectural state.
+func diffStreams(t *testing.T, p *prog.Program, restart bool, budget int) {
+	t.Helper()
+	ed, err := emu.New(p)
+	if err != nil {
+		return
+	}
+	er := emu.MustNew(p)
+	ed.Restart, er.Restart = restart, restart
+	er.SetDecode(false)
+	for i := 0; i < budget; i++ {
+		dd, okd := ed.Next()
+		dr, okr := er.Next()
+		if okd != okr {
+			t.Fatalf("record %d: decoded ok=%v, reference ok=%v", i, okd, okr)
+		}
+		if !okd {
+			break
+		}
+		if dd != dr {
+			t.Fatalf("record %d diverges:\ndecoded:   %+v\nreference: %+v", i, dd, dr)
+		}
+	}
+	if ed.Halted() != er.Halted() || ed.Seq() != er.Seq() {
+		t.Fatalf("final state diverges: decoded halt=%v seq=%d, reference halt=%v seq=%d",
+			ed.Halted(), ed.Seq(), er.Halted(), er.Seq())
+	}
+	for r := 0; r < 8; r++ {
+		if ed.IntReg(r) != er.IntReg(r) {
+			t.Fatalf("r%d diverges: decoded %d, reference %d", r, ed.IntReg(r), er.IntReg(r))
+		}
+	}
+}
+
+// TestDecodeDifferential holds the decoded and reference paths to
+// identical streams on every registered workload, with and without
+// Restart wraparound.
+func TestDecodeDifferential(t *testing.T) {
+	for _, b := range workload.Suite() {
+		p := b.Build(42)
+		t.Run(b.Name, func(t *testing.T) {
+			diffStreams(t, p, true, decodeDiffCap)
+			diffStreams(t, p, false, decodeDiffCap)
+		})
+	}
+}
+
+// TestDecodeCheckpointRoundTrip proves a checkpoint taken under decoded
+// dispatch restores identically under either mode, mid-loop and with a
+// non-empty call stack: the wire representation is mode-independent.
+func TestDecodeCheckpointRoundTrip(t *testing.T) {
+	b, ok := workload.ByName("crafty")
+	if !ok {
+		t.Fatal("crafty not registered")
+	}
+	p := b.Build(42)
+	e := emu.MustNew(p)
+	e.Restart = true
+	for i := 0; i < 12_345; i++ {
+		if _, ok := e.Next(); !ok {
+			t.Fatal("halted early")
+		}
+	}
+	c := e.Checkpoint()
+
+	var runs [][]trace.DynInst
+	for _, dec := range []bool{true, false} {
+		f, err := emu.NewFromCheckpoint(p, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Restart = true
+		f.SetDecode(dec)
+		var out []trace.DynInst
+		for i := 0; i < 5_000; i++ {
+			d, ok := f.Next()
+			if !ok {
+				break
+			}
+			out = append(out, d)
+		}
+		runs = append(runs, out)
+	}
+	if !reflect.DeepEqual(runs[0], runs[1]) {
+		t.Fatal("restored streams diverge between decoded and reference dispatch")
+	}
+}
+
+// TestDecodeToggleMidStream flips dispatch modes every few instructions
+// and requires the interleaved stream to match an all-reference run:
+// SetDecode must convert control state losslessly at any point,
+// including inside calls.
+func TestDecodeToggleMidStream(t *testing.T) {
+	b, ok := workload.ByName("gzip")
+	if !ok {
+		t.Fatal("gzip not registered")
+	}
+	p := b.Build(42)
+	toggler := emu.MustNew(p)
+	ref := emu.MustNew(p)
+	toggler.Restart, ref.Restart = true, true
+	ref.SetDecode(false)
+	on := true
+	for i := 0; i < decodeDiffCap; i++ {
+		if i%7 == 0 {
+			on = !on
+			toggler.SetDecode(on)
+		}
+		dt, _ := toggler.Next()
+		dr, _ := ref.Next()
+		if dt != dr {
+			t.Fatalf("record %d diverges after toggles:\ntoggled:   %+v\nreference: %+v", i, dt, dr)
+		}
+	}
+}
+
+// FuzzDecodeDifferential feeds arbitrary assembly through both dispatch
+// paths and requires identical trace.DynInst sequences — the decoded
+// switch is a deliberate duplicate of the reference semantics, and this
+// is the harness that keeps the two from drifting. Seeds cover the
+// shapes the dispatch table specializes: short loops wrapped many times,
+// self-modifying-shaped programs (stores aimed at low/code addresses —
+// the ISA executes from the immutable program image, so both paths must
+// shrug them off identically), call stacks across procedure boundaries,
+// and div/rem poison values.
+func FuzzDecodeDifferential(f *testing.F) {
+	f.Add(`program shortloop
+proc main entry
+  li r1, 3
+.top:
+  addi r2, r2, 1
+  rem r3, r2, r1
+  bne r3, r1, .top
+  halt
+endproc
+`)
+	f.Add(`program selfmod
+data 7 7 7 7
+proc main entry
+  li r1, 0
+.w:
+  st r1, 0(r1)
+  st r1, 4(r1)
+  addi r1, r1, 8
+  slti r2, r1, 64
+  bne r2, r0, .w
+  ld r3, 8(r0)
+  jmp .out
+.out:
+  halt
+endproc
+`)
+	f.Add(`program divpoison
+proc main entry
+  li r1, -9223372036854775808
+  li r2, -1
+  div r3, r1, r2
+  rem r4, r1, r2
+  div r5, r1, r0
+  rem r6, r1, r0
+  itof f1, r2
+  fdiv f2, f1, f0
+  ftoi r7, f2
+  halt
+endproc
+`)
+	f.Add(`program callwrap
+proc leaf
+  addi r9, r9, 1
+  ret
+endproc
+proc main entry
+  li r8, 2
+.l:
+  call leaf
+  calllib leaf
+  sub r8, r8, r9
+  bge r8, r0, .l
+  ret
+endproc
+`)
+
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<16 {
+			return
+		}
+		p, err := prog.ParseAsm(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		if p.NumInsts() == 0 || p.NumInsts() > 2_000 || len(p.Data) > 1<<14 {
+			return
+		}
+		// Restart wraps short programs through finish() repeatedly — the
+		// highest-traffic edge the decoded path handles specially.
+		diffStreams(t, p, true, decodeDiffCap)
+		diffStreams(t, p, false, decodeDiffCap)
+	})
+}

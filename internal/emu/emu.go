@@ -78,6 +78,15 @@ type Emulator struct {
 	seq   int64
 	halt  bool
 
+	// Decoded-dispatch state (see decode.go). While useDec is true the
+	// control position lives in flat/fstack and pos/stack are stale;
+	// Checkpoint, Restore and SetDecode convert between the two forms,
+	// so checkpoints always use the structural (wire) representation.
+	dec    *decProgram
+	flat   int32
+	fstack []int32
+	useDec bool
+
 	// Restart controls behaviour at program completion: when true the
 	// architectural state is preserved but control returns to the entry
 	// procedure, so short programs can fill any instruction budget (the
@@ -96,7 +105,34 @@ func New(p *prog.Program) (*Emulator, error) {
 		e.mem.Store(p.DataBase+uint64(8*i), w)
 	}
 	e.pos = position{p.Entry, 0, 0}
+	e.SetDecode(true)
 	return e, nil
+}
+
+// SetDecode switches between the decoded-dispatch fast path (the
+// default) and the reference interpreter. Architectural state and the
+// dynamic stream are unaffected — the differential tests prove the two
+// paths bit-identical — so this is a performance/verification toggle,
+// usable mid-stream.
+func (e *Emulator) SetDecode(on bool) {
+	if on == e.useDec {
+		return
+	}
+	if on {
+		e.dec = decodeOf(e.prog)
+		e.flat = e.dec.flatOf(e.prog, e.pos)
+		e.fstack = e.fstack[:0]
+		for _, pos := range e.stack {
+			e.fstack = append(e.fstack, e.dec.flatOf(e.prog, pos))
+		}
+	} else {
+		e.pos = e.dec.posOf[e.flat]
+		e.stack = e.stack[:0]
+		for _, f := range e.fstack {
+			e.stack = append(e.stack, e.dec.posOf[f])
+		}
+	}
+	e.useDec = on
 }
 
 // MustNew is New that panics on error.
@@ -151,13 +187,23 @@ func (c *Checkpoint) Seq() int64 { return c.seq }
 // Checkpoint snapshots the emulator's architectural state. The snapshot
 // is independent of the emulator: later execution does not mutate it.
 func (e *Emulator) Checkpoint() Checkpoint {
+	pos, stack := e.pos, append([]position(nil), e.stack...)
+	if e.useDec {
+		// Checkpoints are always structural positions (the serialized
+		// wire format), independent of the dispatch mode in use.
+		pos = e.dec.posOf[e.flat]
+		stack = stack[:0]
+		for _, f := range e.fstack {
+			stack = append(stack, e.dec.posOf[f])
+		}
+	}
 	return Checkpoint{
 		prog:  e.prog,
 		iregs: e.iregs,
 		fregs: e.fregs,
 		pages: e.mem.snapshot(),
-		pos:   e.pos,
-		stack: append([]position(nil), e.stack...),
+		pos:   pos,
+		stack: stack,
 		seq:   e.seq,
 		halt:  e.halt,
 	}
@@ -178,6 +224,13 @@ func (e *Emulator) Restore(c Checkpoint) error {
 	e.mem.pages = e.mem.snapshot()
 	e.pos = c.pos
 	e.stack = append(e.stack[:0:0], c.stack...)
+	if e.useDec {
+		e.flat = e.dec.flatOf(e.prog, c.pos)
+		e.fstack = e.fstack[:0]
+		for _, pos := range c.stack {
+			e.fstack = append(e.fstack, e.dec.flatOf(e.prog, pos))
+		}
+	}
 	e.seq = c.seq
 	e.halt = c.halt
 	return nil
@@ -247,8 +300,142 @@ func (e *Emulator) writeFP(r isa.Reg, v float64) {
 }
 
 // Next implements trace.Stream: it executes one instruction and returns
-// its dynamic record.
+// its dynamic record. The decoded dispatch body lives directly in Next
+// (not behind a call) so the dominant path pays no extra frame for the
+// record copy; the reference interpreter is one call away.
 func (e *Emulator) Next() (trace.DynInst, bool) {
+	if e.useDec {
+		if e.halt {
+			return trace.DynInst{}, false
+		}
+		en := &e.dec.entries[e.flat]
+		d := en.d
+		d.Seq = e.seq
+		e.seq++
+		next := e.flat + 1
+		switch d.Op {
+		case isa.Nop, isa.HintNop:
+			// nothing
+		case isa.Li:
+			e.writeInt(d.Dst, en.imm)
+		case isa.Mov:
+			e.writeInt(d.Dst, e.readInt(d.Src1))
+		case isa.Add:
+			e.writeInt(d.Dst, e.readInt(d.Src1)+e.readInt(d.Src2))
+		case isa.Sub:
+			e.writeInt(d.Dst, e.readInt(d.Src1)-e.readInt(d.Src2))
+		case isa.And:
+			e.writeInt(d.Dst, e.readInt(d.Src1)&e.readInt(d.Src2))
+		case isa.Or:
+			e.writeInt(d.Dst, e.readInt(d.Src1)|e.readInt(d.Src2))
+		case isa.Xor:
+			e.writeInt(d.Dst, e.readInt(d.Src1)^e.readInt(d.Src2))
+		case isa.Shl:
+			e.writeInt(d.Dst, e.readInt(d.Src1)<<(uint64(e.readInt(d.Src2))&63))
+		case isa.Shr:
+			e.writeInt(d.Dst, int64(uint64(e.readInt(d.Src1))>>(uint64(e.readInt(d.Src2))&63)))
+		case isa.Slt:
+			e.writeInt(d.Dst, boolToInt(e.readInt(d.Src1) < e.readInt(d.Src2)))
+		case isa.Addi:
+			e.writeInt(d.Dst, e.readInt(d.Src1)+en.imm)
+		case isa.Andi:
+			e.writeInt(d.Dst, e.readInt(d.Src1)&en.imm)
+		case isa.Xori:
+			e.writeInt(d.Dst, e.readInt(d.Src1)^en.imm)
+		case isa.Shli:
+			e.writeInt(d.Dst, e.readInt(d.Src1)<<(uint64(en.imm)&63))
+		case isa.Shri:
+			e.writeInt(d.Dst, int64(uint64(e.readInt(d.Src1))>>(uint64(en.imm)&63)))
+		case isa.Slti:
+			e.writeInt(d.Dst, boolToInt(e.readInt(d.Src1) < en.imm))
+		case isa.Mul:
+			e.writeInt(d.Dst, e.readInt(d.Src1)*e.readInt(d.Src2))
+		case isa.Muli:
+			e.writeInt(d.Dst, e.readInt(d.Src1)*en.imm)
+		case isa.Div:
+			e.writeInt(d.Dst, safeDiv(e.readInt(d.Src1), e.readInt(d.Src2)))
+		case isa.Rem:
+			e.writeInt(d.Dst, safeRem(e.readInt(d.Src1), e.readInt(d.Src2)))
+		case isa.FAdd:
+			e.writeFP(d.Dst, e.readFP(d.Src1)+e.readFP(d.Src2))
+		case isa.FSub:
+			e.writeFP(d.Dst, e.readFP(d.Src1)-e.readFP(d.Src2))
+		case isa.FMul:
+			e.writeFP(d.Dst, e.readFP(d.Src1)*e.readFP(d.Src2))
+		case isa.FDiv:
+			v := e.readFP(d.Src2)
+			if v == 0 {
+				v = 1
+			}
+			e.writeFP(d.Dst, e.readFP(d.Src1)/v)
+		case isa.FMov:
+			e.writeFP(d.Dst, e.readFP(d.Src1))
+		case isa.ItoF:
+			e.writeFP(d.Dst, float64(e.readInt(d.Src1)))
+		case isa.FtoI:
+			e.writeInt(d.Dst, int64(e.readFP(d.Src1)))
+		case isa.Ld:
+			d.Addr = uint64(e.readInt(d.Src1)+en.imm) &^ 7
+			e.writeInt(d.Dst, e.mem.Load(d.Addr))
+		case isa.LdF:
+			d.Addr = uint64(e.readInt(d.Src1)+en.imm) &^ 7
+			e.writeFP(d.Dst, float64(e.mem.Load(d.Addr)))
+		case isa.St:
+			d.Addr = uint64(e.readInt(d.Src1)+en.imm) &^ 7
+			e.mem.Store(d.Addr, e.readInt(d.Src2))
+		case isa.StF:
+			d.Addr = uint64(e.readInt(d.Src1)+en.imm) &^ 7
+			e.mem.Store(d.Addr, int64(e.readFP(d.Src2)))
+		case isa.Beq:
+			d.Taken = e.readInt(d.Src1) == e.readInt(d.Src2)
+			if d.Taken {
+				next = en.tgt
+			}
+		case isa.Bne:
+			d.Taken = e.readInt(d.Src1) != e.readInt(d.Src2)
+			if d.Taken {
+				next = en.tgt
+			}
+		case isa.Blt:
+			d.Taken = e.readInt(d.Src1) < e.readInt(d.Src2)
+			if d.Taken {
+				next = en.tgt
+			}
+		case isa.Bge:
+			d.Taken = e.readInt(d.Src1) >= e.readInt(d.Src2)
+			if d.Taken {
+				next = en.tgt
+			}
+		case isa.Jmp:
+			d.Taken = true
+			next = en.tgt
+		case isa.Call, isa.CallLib:
+			d.Taken = true
+			e.fstack = append(e.fstack, next)
+			next = en.tgt
+		case isa.Ret:
+			d.Taken = true
+			if len(e.fstack) == 0 {
+				return e.finishDec(d)
+			}
+			next = e.fstack[len(e.fstack)-1]
+			e.fstack = e.fstack[:len(e.fstack)-1]
+		case isa.Halt:
+			return e.finishDec(d)
+		default:
+			panic("emu: unhandled opcode in decoded dispatch")
+		}
+		e.flat = next
+		d.NextPC = int(next) * isa.InstBytes
+		return d, true
+	}
+	return e.nextRef()
+}
+
+// nextRef is the reference interpreter: structural positions, per-
+// instruction decode. Kept verbatim as the oracle the decoded path is
+// differentially tested against.
+func (e *Emulator) nextRef() (trace.DynInst, bool) {
 	if e.halt {
 		return trace.DynInst{}, false
 	}

@@ -97,6 +97,157 @@ func TestOpcodeSemantics(t *testing.T) {
 	}
 }
 
+// runBothPaths executes the program under the decoded dispatch table and
+// the reference interpreter and returns the final value of reg, failing
+// if the two paths disagree on the value or the committed count. The
+// edge-case tables below run through this so every specialised decoded
+// arm is checked against the reference, not just the default path.
+func runBothPaths(t *testing.T, p *prog.Program, reg int) int64 {
+	t.Helper()
+	run := func(decoded bool) (int64, int64) {
+		e := MustNew(p)
+		e.SetDecode(decoded)
+		n := int64(0)
+		for {
+			if _, ok := e.Next(); !ok {
+				break
+			}
+			n++
+		}
+		return e.IntReg(reg), n
+	}
+	dv, dn := run(true)
+	rv, rn := run(false)
+	if dv != rv || dn != rn {
+		t.Errorf("decoded path (r%d=%d after %d) != reference (r%d=%d after %d)",
+			reg, dv, dn, reg, rv, rn)
+	}
+	return dv
+}
+
+// TestOpcodeEdgeSemantics covers the operand classes the decoded path
+// specialises: the div/rem safe paths (zero divisors, the MinInt64/-1
+// overflow), shift-count masking, integer wraparound, and the FP
+// round-trips — each case on both dispatch paths.
+func TestOpcodeEdgeSemantics(t *testing.T) {
+	const minInt = -9223372036854775808
+	type c struct {
+		name  string
+		build func(b *prog.Builder)
+		reg   int
+		want  int64
+	}
+	cases := []c{
+		// Safe division: zero divisors produce 0, the two's-complement
+		// overflow quotient saturates to MinInt64 and its remainder is 0.
+		{"div-by-zero", func(b *prog.Builder) {
+			b.Li(isa.R(1), 7).Div(isa.R(5), isa.R(1), isa.R(2))
+		}, 5, 0},
+		{"rem-by-zero", func(b *prog.Builder) {
+			b.Li(isa.R(1), 7).Rem(isa.R(5), isa.R(1), isa.R(2))
+		}, 5, 0},
+		{"div-overflow", func(b *prog.Builder) {
+			b.Li(isa.R(1), minInt).Li(isa.R(2), -1).Div(isa.R(5), isa.R(1), isa.R(2))
+		}, 5, minInt},
+		{"rem-overflow", func(b *prog.Builder) {
+			b.Li(isa.R(1), minInt).Li(isa.R(2), -1).Rem(isa.R(5), isa.R(1), isa.R(2))
+		}, 5, 0},
+		// Shift counts are masked to 6 bits, register and immediate forms
+		// alike; negative counts mask to 63.
+		{"shl-count-64", func(b *prog.Builder) {
+			b.Li(isa.R(1), 5).Li(isa.R(2), 64).Shl(isa.R(5), isa.R(1), isa.R(2))
+		}, 5, 5},
+		{"shl-count-neg", func(b *prog.Builder) {
+			b.Li(isa.R(1), 5).Li(isa.R(2), -1).Shl(isa.R(5), isa.R(1), isa.R(2))
+		}, 5, minInt},
+		{"shr-count-neg", func(b *prog.Builder) {
+			b.Li(isa.R(1), -8).Li(isa.R(2), -1).Shr(isa.R(5), isa.R(1), isa.R(2))
+		}, 5, 1},
+		{"shli-imm-mask", func(b *prog.Builder) {
+			b.Li(isa.R(1), 3).Shli(isa.R(5), isa.R(1), 65)
+		}, 5, 6},
+		{"shri-imm-mask", func(b *prog.Builder) {
+			b.Li(isa.R(1), 8).Shri(isa.R(5), isa.R(1), 66)
+		}, 5, 2},
+		// Two's-complement wraparound, no traps.
+		{"add-wrap", func(b *prog.Builder) {
+			b.Li(isa.R(1), 9223372036854775807).Addi(isa.R(5), isa.R(1), 1)
+		}, 5, minInt},
+		{"mul-wrap", func(b *prog.Builder) {
+			b.Li(isa.R(1), 9223372036854775807).Li(isa.R(2), 2).Mul(isa.R(5), isa.R(1), isa.R(2))
+		}, 5, -2},
+		// FP conversions: negatives round-trip; the fdiv zero-divisor
+		// guard substitutes 1 so the quotient is the dividend.
+		{"itof-ftoi-neg", func(b *prog.Builder) {
+			b.Li(isa.R(1), -7).ItoF(isa.FP(0), isa.R(1)).FtoI(isa.R(5), isa.FP(0))
+		}, 5, -7},
+		{"fdiv-zero-neg", func(b *prog.Builder) {
+			b.Li(isa.R(1), -12).ItoF(isa.FP(0), isa.R(1)).
+				FDiv(isa.FP(2), isa.FP(0), isa.FP(3)).FtoI(isa.R(5), isa.FP(2))
+		}, 5, -12},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			b := prog.NewBuilder(tc.name)
+			b.Proc("main").Entry()
+			tc.build(b)
+			b.Halt()
+			if got := runBothPaths(t, b.MustBuild(), tc.reg); got != tc.want {
+				t.Errorf("r%d = %d, want %d", tc.reg, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestBranchBlockBoundaries exercises branches whose targets sit exactly
+// at block seams — the positions the decoded table flattens: a taken
+// branch whose target is the very next block (taken and fallthrough
+// coincide), a backward branch to a loop header, and a skip over a
+// middle block into the program's final block.
+func TestBranchBlockBoundaries(t *testing.T) {
+	t.Run("taken-to-next-block", func(t *testing.T) {
+		b := prog.NewBuilder("seam")
+		b.Proc("main").Entry().
+			Li(isa.R(1), 1).
+			Beq(isa.R(1), isa.R(1), "next"). // last inst of block; target is next block
+			Label("next").
+			Li(isa.R(5), 11).
+			Halt()
+		if got := runBothPaths(t, b.MustBuild(), 5); got != 11 {
+			t.Errorf("r5 = %d, want 11", got)
+		}
+	})
+	t.Run("backward-to-header", func(t *testing.T) {
+		b := prog.NewBuilder("loop")
+		b.Proc("main").Entry().
+			Li(isa.R(1), 3). // counter
+			Li(isa.R(5), 0). // accumulator
+			Label("head").
+			Add(isa.R(5), isa.R(5), isa.R(1)).
+			Addi(isa.R(1), isa.R(1), -1).
+			Bne(isa.R(1), isa.R(0), "head").
+			Halt()
+		if got := runBothPaths(t, b.MustBuild(), 5); got != 6 {
+			t.Errorf("r5 = %d, want 3+2+1", got)
+		}
+	})
+	t.Run("skip-into-final-block", func(t *testing.T) {
+		b := prog.NewBuilder("skip")
+		b.Proc("main").Entry().
+			Li(isa.R(1), 1).
+			Bne(isa.R(1), isa.R(0), "end").
+			Label("mid").
+			Li(isa.R(5), 100).
+			Label("end").
+			Li(isa.R(6), 1).
+			Halt()
+		if got := runBothPaths(t, b.MustBuild(), 5); got != 0 {
+			t.Errorf("r5 = %d, want 0 (middle block skipped)", got)
+		}
+	})
+}
+
 // TestBranchVariants checks every conditional branch opcode both ways.
 func TestBranchVariants(t *testing.T) {
 	type c struct {

@@ -104,6 +104,11 @@ type Runner struct {
 	// Sampling runs the suite through the sampled-simulation engine
 	// (nil = exact). Results then carry error bars; see SamplingReport.
 	Sampling *campaign.Sampling
+	// Lockstep batches sampled cells that share a warming identity into
+	// one emulator stream feeding every cell's core (Engine.Lockstep).
+	// Exact runs are unaffected. Local execution only: a Remote server
+	// schedules its own work.
+	Lockstep bool
 	// Remote, when non-empty, executes campaigns on a sdiqd campaign
 	// service at this base URL instead of the local engine: every
 	// experiment and sweep transparently becomes a POST + event stream +
@@ -152,7 +157,7 @@ func (r *Runner) Spec(techs []Technique) campaign.Spec {
 // store that fails to open degrades to warm-from-scratch execution.
 func (r *Runner) engine() *campaign.Engine {
 	store, _ := ckpt.Open(r.CkptDir)
-	return &campaign.Engine{Workers: r.Parallel, CacheDir: r.CacheDir, Ckpt: store}
+	return &campaign.Engine{Workers: r.Parallel, CacheDir: r.CacheDir, Ckpt: store, Lockstep: r.Lockstep}
 }
 
 // RunCampaign executes an arbitrary campaign spec the way this runner

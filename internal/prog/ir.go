@@ -14,6 +14,7 @@ package prog
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/isa"
 )
@@ -165,6 +166,12 @@ type Program struct {
 	DataBase uint64
 
 	linked bool
+
+	// decoded is an opaque per-link cache slot for execution engines
+	// (the emulator stashes its decoded dispatch table here so every
+	// emulator over this program shares one decode pass). Link clears
+	// it: any structural change invalidates a derived table.
+	decoded atomic.Pointer[any]
 }
 
 // DefaultDataBase is where the data segment is loaded when the program
@@ -205,10 +212,25 @@ func (p *Program) NumInsts() int {
 // Linked reports whether Link has succeeded on this program.
 func (p *Program) Linked() bool { return p.linked }
 
+// Decoded returns the value stashed by SetDecoded since the last Link,
+// or nil. The program itself attaches no meaning to it.
+func (p *Program) Decoded() any {
+	if v := p.decoded.Load(); v != nil {
+		return *v
+	}
+	return nil
+}
+
+// SetDecoded stashes a value derived from the linked program (e.g. a
+// decoded dispatch table). Concurrent stores are safe; the slot holds
+// whichever lands last, and Link discards it.
+func (p *Program) SetDecoded(v any) { p.decoded.Store(&v) }
+
 // Link validates the program, assigns PCs (4 bytes per instruction,
 // procedures laid out in order), and computes successor/predecessor edges.
 // It must be called after any structural change and before emulation.
 func (p *Program) Link() error {
+	p.decoded.Store(nil)
 	if p.Entry < 0 || p.Entry >= len(p.Procs) {
 		return fmt.Errorf("prog %q: entry procedure %d out of range", p.Name, p.Entry)
 	}

@@ -91,6 +91,74 @@ func TestAccuracyGate(t *testing.T) {
 	}
 }
 
+// TestAccuracyGateLockstep re-runs the accuracy gate with the sampled
+// side executing as a lockstep batch: each benchmark's default
+// configuration rides in an IQ-sweep batch of four cells, and the
+// default cell must meet the same bounds as the solo gate. The batch
+// path is proven bit-identical to the solo path by the differential
+// suite (lockstep_test.go); this gate guards the other half — that the
+// shared-stream results stay accurate against exact simulation, not
+// merely self-consistent. It arms only in the dedicated CI job
+// (SAMPLE_GATE=1): it repeats the full gate workload.
+func TestAccuracyGateLockstep(t *testing.T) {
+	if raceEnabled {
+		t.Skip("accuracy gate runs natively in the dedicated CI job; see race_off.go")
+	}
+	if os.Getenv("SAMPLE_GATE") != "1" {
+		t.Skip("SAMPLE_GATE not set; the solo gate already runs on every push")
+	}
+	const gatePct = 2.0
+	iqSweep := []int{80, 48, 32, 16} // cell 0 is the default configuration
+	var ipcErrs, energyErrs []float64
+	for _, name := range gateBenches {
+		b, ok := workload.ByName(name)
+		if !ok {
+			t.Fatalf("unknown benchmark %q", name)
+		}
+		cfgs := make([]sim.Config, len(iqSweep))
+		for i, n := range iqSweep {
+			cfgs[i] = sim.DefaultConfig()
+			cfgs[i].IQ.Entries = n
+		}
+		exact, err := sim.RunProgram(cfgs[0], b.Build(42), gateBudget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cells, err := RunLockstep(context.Background(), cfgs, b.Build(42), gateBudget, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, cell := range cells {
+			if cell.Err != nil {
+				t.Fatalf("%s: lockstep cell iq=%d: %v", name, iqSweep[i], cell.Err)
+			}
+		}
+		rep := cells[0].Report
+		ipcErr := relErrPct(rep.Stats.IPC(), exact.IPC())
+		energyErr := relErrPct(totalEnergy(&rep.Stats, &cfgs[0]), totalEnergy(&exact, &cfgs[0]))
+		t.Logf("%-8s exact IPC %.4f  lockstep %.4f ±%.2f%%  IPC err %.2f%%  energy err %.2f%%  (%d windows, %d cells)",
+			name, exact.IPC(), rep.Stats.IPC(), rep.IPC.RelHalfPct(),
+			ipcErr, energyErr, len(rep.Windows), len(cells))
+		if ipcErr > 2*gatePct {
+			t.Errorf("%s: per-benchmark IPC error %.2f%% exceeds %.1f%%", name, ipcErr, 2*gatePct)
+		}
+		if energyErr > 2*gatePct {
+			t.Errorf("%s: per-benchmark energy error %.2f%% exceeds %.1f%%", name, energyErr, 2*gatePct)
+		}
+		ipcErrs = append(ipcErrs, ipcErr)
+		energyErrs = append(energyErrs, energyErr)
+	}
+	meanIPC := stats.Mean(ipcErrs)
+	meanEnergy := stats.Mean(energyErrs)
+	t.Logf("lockstep mean |IPC err| %.2f%%  mean |energy err| %.2f%% (gate %.1f%%)", meanIPC, meanEnergy, gatePct)
+	if meanIPC > gatePct {
+		t.Errorf("mean IPC error %.2f%% exceeds the %.1f%% gate", meanIPC, gatePct)
+	}
+	if meanEnergy > gatePct {
+		t.Errorf("mean energy error %.2f%% exceeds the %.1f%% gate", meanEnergy, gatePct)
+	}
+}
+
 // TestSampledSpeedup measures the wall-clock speedup of sampled over
 // exact simulation on the standard sweep and requires >=5x. Wall-clock
 // assertions are inherently machine- and load-sensitive, so the check

@@ -3,7 +3,6 @@ package sample
 import (
 	"context"
 	"errors"
-	"fmt"
 	"io"
 	"io/fs"
 	"math/bits"
@@ -133,28 +132,7 @@ func Run(ctx context.Context, cfg sim.Config, p *prog.Program, budget int64, sc 
 // each window executes on a fork of the stream state at its start, so
 // neither path can perturb the other's numbers.
 func RunStored(ctx context.Context, cfg sim.Config, p *prog.Program, budget int64, sc Config, store *ckpt.Store, key string) (*Report, error) {
-	sc = sc.WithDefaults()
-	if err := sc.Validate(); err != nil {
-		return nil, err
-	}
-	if budget <= 0 {
-		return nil, fmt.Errorf("sample: sampled runs need a positive budget, got %d", budget)
-	}
-	if store == nil || key == "" {
-		return generate(ctx, cfg, p, budget, sc, nil, "")
-	}
-	if rep, err, ok := resume(ctx, cfg, p, budget, sc, store, key); ok {
-		return rep, err
-	}
-	// Miss. Serialize in-process generation per key: the winner
-	// generates, everyone who blocked here resumes from the published
-	// artifact (re-read from disk so each job attaches its own program).
-	unlock := store.Lock(key)
-	defer unlock()
-	if rep, err, ok := resume(ctx, cfg, p, budget, sc, store, key); ok {
-		return rep, err
-	}
-	return generate(ctx, cfg, p, budget, sc, store, key)
+	return oneCell(RunLockstepStored(ctx, []sim.Config{cfg}, p, budget, sc, store, key))
 }
 
 // runWindow executes one detailed window on a fork of the stream: a
@@ -210,23 +188,37 @@ func windowDetail(sc Config, startReal, budget int64) int64 {
 	return detail
 }
 
-// generate runs the full functional stream — fast-forward, warming,
-// and a fork-per-window detailed measurement — writing each window's
-// resume state through to the store when one is attached.
-func generate(ctx context.Context, cfg sim.Config, p *prog.Program, budget int64, sc Config, store *ckpt.Store, key string) (*Report, error) {
+// generateK runs the full functional stream — fast-forward, warming,
+// and a fork-per-window detailed measurement fanned out to every cell —
+// writing each window's resume state through to the store when one is
+// attached. The stream is shared: each of the K configurations only
+// pays for its own detailed windows.
+func generateK(ctx context.Context, cfgs []sim.Config, p *prog.Program, budget int64, sc Config, store *ckpt.Store, key string) ([]Cell, error) {
 	e, err := emu.New(p)
 	if err != nil {
 		return nil, err
 	}
 	e.Restart = true
-	mem, err := cache.NewHierarchy(cfg.Caches)
+	mem, err := cache.NewHierarchy(cfgs[0].Caches)
 	if err != nil {
 		return nil, err
 	}
-	bp := bpred.New(cfg.Bpred)
+	bp := bpred.New(cfgs[0].Bpred)
 	cs := &countedStream{e: e}
 	warm := newWarmer(mem, bp)
-	rep := &Report{Confidence: sc.Confidence}
+	reports := make([]*Report, len(cfgs))
+	errs := make([]error, len(cfgs))
+	for i := range reports {
+		reports[i] = &Report{Confidence: sc.Confidence}
+	}
+	live := len(cfgs)
+	// fail retires one cell: its report ends at the failure's stream
+	// position, the rest of the grid keeps measuring.
+	fail := func(i int, err error, at int64) {
+		errs[i] = err
+		reports[i].finalize(at)
+		live--
+	}
 
 	var w *ckpt.Writer
 	if store != nil && key != "" {
@@ -255,8 +247,12 @@ func generate(ctx context.Context, cfg sim.Config, p *prog.Program, budget int64
 
 	for cs.real < budget {
 		if err := ctx.Err(); err != nil {
-			rep.finalize(cs.real)
-			return rep, err
+			for i := range errs {
+				if errs[i] == nil {
+					fail(i, err, cs.real)
+				}
+			}
+			return cellsOf(reports, errs), err
 		}
 
 		// Functional warming: architectural execution plus cache and
@@ -274,14 +270,22 @@ func generate(ctx context.Context, cfg sim.Config, p *prog.Program, budget int64
 			cs.observe(&d)
 			warm.observe(&d)
 		}
-		rep.WarmedReal += cs.real - warmStart
+		warmed := cs.real - warmStart
+		for i := range reports {
+			if errs[i] == nil {
+				reports[i].WarmedReal += warmed
+			}
+		}
 		if cs.real >= budget || e.Halted() {
 			break
 		}
 
 		// Detailed window on a fork of the stream state at this position.
-		// The window's resume state is serialized before the window runs,
-		// so the published artifact holds exactly what the measurement saw.
+		// The window's resume state is serialized before any cell runs,
+		// so the published artifact holds exactly what every measurement
+		// saw. Each live cell then measures on its own fork of the warm
+		// state; the last one consumes the snapshot itself, which makes
+		// K=1 byte-for-byte the pre-lockstep single-run path.
 		detail := windowDetail(sc, cs.real, budget)
 		win := &ckpt.Window{
 			StartReal: cs.real,
@@ -296,11 +300,29 @@ func generate(ctx context.Context, cfg sim.Config, p *prog.Program, budget int64
 				w = nil
 			}
 		}
-		winStats, werr := runWindow(ctx, cfg, p, win, detail, sc)
-		rep.Windows = append(rep.Windows, Window{StartSeq: win.Ckpt.Seq(), Stats: winStats})
-		if werr != nil {
-			rep.finalize(cs.real)
-			return rep, werr
+		forks := live
+		for i := range cfgs {
+			if errs[i] != nil {
+				continue
+			}
+			cw := win
+			if forks--; forks > 0 {
+				cw = &ckpt.Window{
+					StartReal: win.StartReal,
+					LastHint:  win.LastHint,
+					Ckpt:      win.Ckpt,
+					Mem:       win.Mem.Clone(),
+					Bp:        win.Bp.Clone(),
+				}
+			}
+			winStats, werr := runWindow(ctx, cfgs[i], p, cw, detail, sc)
+			reports[i].Windows = append(reports[i].Windows, Window{StartSeq: win.Ckpt.Seq(), Stats: winStats})
+			if werr != nil {
+				fail(i, werr, cs.real)
+			}
+		}
+		if live == 0 {
+			return cellsOf(reports, errs), nil
 		}
 
 		// The main stream re-executes the window's region functionally —
@@ -342,32 +364,46 @@ func generate(ctx context.Context, cfg sim.Config, p *prog.Program, budget int64
 				warm.observe(&d)
 			}
 		}
-		rep.FastForwardReal += cs.real - ffStart
+		ffwd := cs.real - ffStart
+		for i := range reports {
+			if errs[i] == nil {
+				reports[i].FastForwardReal += ffwd
+			}
+		}
 		if e.Halted() {
 			break
 		}
 	}
-	rep.finalize(cs.real)
-	if w != nil {
+	var done *Report
+	for i := range reports {
+		if errs[i] == nil {
+			reports[i].finalize(cs.real)
+			done = reports[i]
+		}
+	}
+	if w != nil && done != nil {
 		// Publish only a complete artifact; a commit failure is a cache
-		// miss for the next job, not an error for this one.
+		// miss for the next job, not an error for this one. The stream
+		// accounting is cell-independent, so any finished cell's report
+		// supplies the trailer.
 		_ = w.Commit(ckpt.Trailer{
-			TotalReal:       rep.TotalReal,
-			WarmedReal:      rep.WarmedReal,
-			FastForwardReal: rep.FastForwardReal,
+			TotalReal:       done.TotalReal,
+			WarmedReal:      done.WarmedReal,
+			FastForwardReal: done.FastForwardReal,
 		})
 		w = nil
 	}
-	return rep, nil
+	return cellsOf(reports, errs), nil
 }
 
-// resume replays a run's detailed windows from a stored artifact,
-// skipping the functional stream entirely. ok is false when the
+// resumeK replays a run's detailed windows from a stored artifact for
+// every cell, skipping the functional stream entirely — a warm-resumed
+// lockstep batch touches the artifact once. ok is false when the
 // artifact is missing or unusable (an unusable one is evicted so the
-// caller regenerates it); otherwise the returned report and error are
+// caller regenerates it); otherwise the returned cells and error are
 // final.
-func resume(ctx context.Context, cfg sim.Config, p *prog.Program, budget int64, sc Config, store *ckpt.Store, key string) (rep *Report, err error, ok bool) {
-	r, oerr := store.OpenArtifact(key, p, cfg.Caches, cfg.Bpred)
+func resumeK(ctx context.Context, cfgs []sim.Config, p *prog.Program, budget int64, sc Config, store *ckpt.Store, key string) (cells []Cell, err error, ok bool) {
+	r, oerr := store.OpenArtifact(key, p, cfgs[0].Caches, cfgs[0].Bpred)
 	if oerr != nil {
 		if !errors.Is(oerr, fs.ErrNotExist) {
 			store.Remove(key)
@@ -381,11 +417,21 @@ func resume(ctx context.Context, cfg sim.Config, p *prog.Program, budget int64, 
 		// mismatches as a miss without evicting the artifact.
 		return nil, nil, false
 	}
-	rep = &Report{Confidence: sc.Confidence}
+	reports := make([]*Report, len(cfgs))
+	errs := make([]error, len(cfgs))
+	for i := range reports {
+		reports[i] = &Report{Confidence: sc.Confidence}
+	}
+	live := len(cfgs)
 	for {
 		if cerr := ctx.Err(); cerr != nil {
-			rep.finalize(budget)
-			return rep, cerr, true
+			for i := range errs {
+				if errs[i] == nil {
+					errs[i] = cerr
+					reports[i].finalize(budget)
+				}
+			}
+			return cellsOf(reports, errs), cerr, true
 		}
 		win, rerr := r.Next()
 		if rerr == io.EOF {
@@ -398,11 +444,31 @@ func resume(ctx context.Context, cfg sim.Config, p *prog.Program, budget int64, 
 			return nil, nil, false
 		}
 		detail := windowDetail(sc, win.StartReal, budget)
-		winStats, werr := runWindow(ctx, cfg, p, win, detail, sc)
-		rep.Windows = append(rep.Windows, Window{StartSeq: win.Ckpt.Seq(), Stats: winStats})
-		if werr != nil {
-			rep.finalize(budget)
-			return rep, werr, true
+		forks := live
+		for i := range cfgs {
+			if errs[i] != nil {
+				continue
+			}
+			cw := win
+			if forks--; forks > 0 {
+				cw = &ckpt.Window{
+					StartReal: win.StartReal,
+					LastHint:  win.LastHint,
+					Ckpt:      win.Ckpt,
+					Mem:       win.Mem.Clone(),
+					Bp:        win.Bp.Clone(),
+				}
+			}
+			winStats, werr := runWindow(ctx, cfgs[i], p, cw, detail, sc)
+			reports[i].Windows = append(reports[i].Windows, Window{StartSeq: win.Ckpt.Seq(), Stats: winStats})
+			if werr != nil {
+				errs[i] = werr
+				reports[i].finalize(budget)
+				live--
+			}
+		}
+		if live == 0 {
+			return cellsOf(reports, errs), nil, true
 		}
 	}
 	tr, got := r.Trailer()
@@ -410,8 +476,12 @@ func resume(ctx context.Context, cfg sim.Config, p *prog.Program, budget int64, 
 		store.Remove(key)
 		return nil, nil, false
 	}
-	rep.WarmedReal = tr.WarmedReal
-	rep.FastForwardReal = tr.FastForwardReal
-	rep.finalize(tr.TotalReal)
-	return rep, nil, true
+	for i := range reports {
+		if errs[i] == nil {
+			reports[i].WarmedReal = tr.WarmedReal
+			reports[i].FastForwardReal = tr.FastForwardReal
+			reports[i].finalize(tr.TotalReal)
+		}
+	}
+	return cellsOf(reports, errs), nil, true
 }

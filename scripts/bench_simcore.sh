@@ -22,7 +22,7 @@ trap 'rm -f "$tmp"' EXIT
 
 # No pipe: a panicking benchmark must fail the script, and POSIX sh has
 # no pipefail to catch it through tee.
-if ! go test -bench 'Benchmark((Simulator|Emulator)Throughput|SampledCampaign|Sweep(No)?Ckpt)$' \
+if ! go test -bench 'Benchmark((Simulator|Emulator)Throughput|Emulator(DecodeCache|Uncached)|SampledCampaign|Sweep(No)?Ckpt|LockstepSweep)$' \
 	-benchtime "$benchtime" -run '^$' . > "$tmp" 2>&1; then
 	cat "$tmp" >&2
 	echo "bench_simcore: go test -bench failed" >&2
@@ -35,7 +35,7 @@ commit=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
 stamp=$(date -u +%Y-%m-%dT%H:%M:%SZ)
 
 awk -v go_version="$go_version" -v commit="$commit" -v stamp="$stamp" '
-/^Benchmark((Simulator|Emulator)Throughput|SampledCampaign|Sweep(No)?Ckpt)/ {
+/^Benchmark((Simulator|Emulator)Throughput|Emulator(DecodeCache|Uncached)|SampledCampaign|Sweep(No)?Ckpt|LockstepSweep)/ {
 	name = $1
 	sub(/-[0-9]+$/, "", name)
 	sub(/^Benchmark/, "", name)
@@ -55,6 +55,14 @@ END {
 	# the same 8-cell sampled IQ sweep, warm-from-scratch over resumed.
 	if (ns["SweepNoCkpt"] > 0 && ns["SweepCkpt"] > 0)
 		printf "  \"checkpoint_speedup\": %.2f,\n", ns["SweepNoCkpt"] / ns["SweepCkpt"]
+	# lockstep_speedup: the same sweep per-cell over lockstep-batched
+	# (one emulator stream feeding all 8 cores). Acceptance gate: >= 2x.
+	if (ns["SweepNoCkpt"] > 0 && ns["LockstepSweep"] > 0)
+		printf "  \"lockstep_speedup\": %.2f,\n", ns["SweepNoCkpt"] / ns["LockstepSweep"]
+	# decode_cache_speedup: the emulator reference interpreter over the
+	# decoded-dispatch path (the default since the decode cache landed).
+	if (ns["EmulatorUncached"] > 0 && ns["EmulatorDecodeCache"] > 0)
+		printf "  \"decode_cache_speedup\": %.2f,\n", ns["EmulatorUncached"] / ns["EmulatorDecodeCache"]
 	printf "  \"benchmarks\": {\n"
 	for (i = 0; i < n; i++) {
 		name = order[i]
